@@ -1,0 +1,28 @@
+// Package repro is a from-scratch Go reproduction of "Predictive Precompute
+// with Recurrent Neural Networks" (Wang, Wang & Ma, MLSys 2020,
+// arXiv:1912.06779).
+//
+// The paper's system decides, per user and per application session, whether
+// to precompute (prefetch) data for an activity by estimating the access
+// probability from the user's historical access logs. Its contribution is a
+// GRU-based model whose per-user hidden state replaces all time-windowed
+// aggregation features, improving accuracy while cutting serving cost by an
+// order of magnitude.
+//
+// Layout:
+//
+//   - internal/core — the paper's model and training procedure (§6-7)
+//   - internal/{tensor,nn,opt} — the neural-network substrate (PyTorch stand-in)
+//   - internal/{baselines,gbdt,features} — the traditional models and the
+//     feature engineering they need (§5)
+//   - internal/{dataset,synth} — the access-log data model and synthetic
+//     versions of the paper's three datasets (§4)
+//   - internal/serving — KV store, stream processor, cost model, online
+//     experiment (§9)
+//   - internal/experiments — one driver per table/figure (§8-9)
+//   - cmd/{ppgen,ppbench,ppserve} — command-line tools
+//   - examples/ — runnable walkthroughs of the public API
+//
+// See DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for measured-vs-paper results.
+package repro

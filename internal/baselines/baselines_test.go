@@ -1,0 +1,253 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+	"repro/internal/tensor"
+)
+
+func TestPercentagePredictions(t *testing.T) {
+	m := &PercentageModel{Alpha: 0.1}
+	var st PercentageState
+	// First prediction: α/1.
+	if p := m.Predict(st); math.Abs(p-0.1) > 1e-12 {
+		t.Fatalf("cold prediction: %v", p)
+	}
+	st.Update(true)
+	if p := m.Predict(st); math.Abs(p-(0.1+1)/2) > 1e-12 {
+		t.Fatalf("after one access: %v", p)
+	}
+	st.Update(false)
+	st.Update(false)
+	if p := m.Predict(st); math.Abs(p-(0.1+1)/4) > 1e-12 {
+		t.Fatalf("after 3 events: %v", p)
+	}
+}
+
+func TestPercentageFitAlpha(t *testing.T) {
+	cfg := synth.DefaultMobileTab()
+	cfg.Users = 200
+	d := synth.GenerateMobileTab(cfg)
+	m := &PercentageModel{}
+	m.Fit(d)
+	if math.Abs(m.Alpha-d.PositiveRate()) > 1e-12 {
+		t.Fatalf("Alpha must equal the global positive rate")
+	}
+
+	// Degenerate data keeps α in (0,1).
+	empty := &dataset.Dataset{Schema: d.Schema, Start: d.Start, End: d.End}
+	m2 := &PercentageModel{}
+	m2.Fit(empty)
+	if m2.Alpha <= 0 || m2.Alpha >= 1 {
+		t.Fatalf("degenerate alpha: %v", m2.Alpha)
+	}
+}
+
+func TestPercentageEvaluateFiltersAndWarms(t *testing.T) {
+	schema := synth.MobileTabSchema()
+	d := &dataset.Dataset{Schema: schema, Start: 0, End: 30 * dataset.Day}
+	u := &dataset.User{ID: 0}
+	// 10 early accesses, then 5 late non-accesses.
+	for i := 0; i < 10; i++ {
+		u.Sessions = append(u.Sessions, dataset.Session{Timestamp: int64(i) * 1000, Access: true, Cat: []int{0, 0}})
+	}
+	for i := 0; i < 5; i++ {
+		u.Sessions = append(u.Sessions, dataset.Session{Timestamp: 29*dataset.Day + int64(i)*1000, Access: false, Cat: []int{0, 0}})
+	}
+	d.Users = []*dataset.User{u}
+	m := &PercentageModel{Alpha: 0.5}
+	scores, labels := m.Evaluate(d, 29*dataset.Day)
+	if len(scores) != 5 {
+		t.Fatalf("filtered count: %d", len(scores))
+	}
+	// First late prediction must reflect the 10 warm-up accesses.
+	if scores[0] < 0.9 {
+		t.Fatalf("warm-up ignored: %v", scores[0])
+	}
+	for _, l := range labels {
+		if l {
+			t.Fatalf("labels should all be false")
+		}
+	}
+}
+
+func TestPercentageOnTimeshiftUsesWindows(t *testing.T) {
+	cfg := synth.DefaultTimeshift()
+	cfg.Users = 100
+	d := synth.GenerateTimeshift(cfg)
+	m := &PercentageModel{}
+	m.Fit(d)
+	scores, labels := m.Evaluate(d, d.CutoffForLastDays(7))
+	if len(scores) == 0 || len(scores) != len(labels) {
+		t.Fatalf("no window predictions")
+	}
+	// Roughly one window per user per day over 7 days.
+	if len(scores) < 500 || len(scores) > 800 {
+		t.Fatalf("window prediction count: %d", len(scores))
+	}
+}
+
+func TestPercentageBeatsCoinFlipOnSynthetic(t *testing.T) {
+	cfg := synth.DefaultMobileTab()
+	cfg.Users = 300
+	d := synth.GenerateMobileTab(cfg)
+	m := &PercentageModel{}
+	m.Fit(d)
+	scores, labels := m.Evaluate(d, d.CutoffForLastDays(7))
+	auc := metrics.PRAUC(scores, labels)
+	base := d.PositiveRate()
+	if auc < base*1.5 {
+		t.Fatalf("percentage model should beat the base rate: AUC %v, base %v", auc, base)
+	}
+}
+
+func makeBlobs(n, dim int, seed uint64) ([]features.SparseVec, []bool) {
+	// Linearly separable-ish sparse data: label depends on two indicator
+	// features plus noise.
+	rng := tensor.NewRNG(seed)
+	xs := make([]features.SparseVec, n)
+	ys := make([]bool, n)
+	for i := range xs {
+		a := rng.Intn(dim / 2)
+		b := dim/2 + rng.Intn(dim/2)
+		xs[i].Append(a, 1)
+		xs[i].Append(b, 1)
+		logit := -1.0
+		if a%3 == 0 {
+			logit += 2.5
+		}
+		if b%5 == 0 {
+			logit += 1.5
+		}
+		ys[i] = rng.Bernoulli(1 / (1 + math.Exp(-logit)))
+	}
+	return xs, ys
+}
+
+func TestLogisticRegressionLearns(t *testing.T) {
+	xs, ys := makeBlobs(6000, 40, 1)
+	m := NewLogisticRegression(40)
+	m.Fit(xs, ys)
+	preds := m.PredictAll(xs)
+	ll := metrics.LogLoss(preds, ys)
+
+	// Compare against the best constant predictor.
+	pos := 0
+	for _, y := range ys {
+		if y {
+			pos++
+		}
+	}
+	rate := float64(pos) / float64(len(ys))
+	constLL := 0.0
+	for _, y := range ys {
+		if y {
+			constLL -= math.Log(rate)
+		} else {
+			constLL -= math.Log(1 - rate)
+		}
+	}
+	constLL /= float64(len(ys))
+	if ll >= constLL-0.02 {
+		t.Fatalf("LR failed to beat constant: %v vs %v", ll, constLL)
+	}
+}
+
+func TestLogisticRegressionCalibrated(t *testing.T) {
+	// Predicted mean must track the empirical positive rate.
+	xs, ys := makeBlobs(6000, 40, 2)
+	m := NewLogisticRegression(40)
+	m.Fit(xs, ys)
+	preds := m.PredictAll(xs)
+	pos := 0
+	for _, y := range ys {
+		if y {
+			pos++
+		}
+	}
+	rate := float64(pos) / float64(len(ys))
+	if math.Abs(metrics.Mean(preds)-rate) > 0.03 {
+		t.Fatalf("calibration off: mean pred %v, rate %v", metrics.Mean(preds), rate)
+	}
+}
+
+func TestLogisticRegressionDeterministic(t *testing.T) {
+	xs, ys := makeBlobs(1000, 20, 3)
+	m1 := NewLogisticRegression(20)
+	m1.Fit(xs, ys)
+	m2 := NewLogisticRegression(20)
+	m2.Fit(xs, ys)
+	for i := range m1.W {
+		if m1.W[i] != m2.W[i] {
+			t.Fatalf("training must be deterministic")
+		}
+	}
+}
+
+func TestLogisticRegressionEmptyFit(t *testing.T) {
+	m := NewLogisticRegression(10)
+	m.Fit(nil, nil)
+	var x features.SparseVec
+	x.Append(3, 1)
+	if p := m.Predict(&x); p != 0.5 {
+		t.Fatalf("untrained model must predict 0.5: %v", p)
+	}
+}
+
+func TestLogisticRegressionMismatchPanics(t *testing.T) {
+	m := NewLogisticRegression(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	m.Fit(make([]features.SparseVec, 2), make([]bool, 3))
+}
+
+func TestLRBeatsPercentageOnContextualData(t *testing.T) {
+	// End-to-end sanity on synthetic MobileTab: LR with engineered
+	// features must beat the percentage model (the paper's Table 3
+	// ordering: %Based < LR).
+	cfg := synth.DefaultMobileTab()
+	cfg.Users = 300
+	d := synth.GenerateMobileTab(cfg)
+	split := dataset.SplitUsers(d, 0.3, 5)
+
+	pm := &PercentageModel{}
+	pm.Fit(split.Train)
+	pmScores, pmLabels := pm.Evaluate(split.Test, d.CutoffForLastDays(7))
+
+	b := features.NewBuilder(d.Schema)
+	b.MinTs = d.CutoffForLastDays(7)
+	var trainX []features.SparseVec
+	var trainY []bool
+	for _, exs := range b.BuildDataset(split.Train) {
+		for _, ex := range exs {
+			trainX = append(trainX, ex.Sparse)
+			trainY = append(trainY, ex.Label)
+		}
+	}
+	lr := NewLogisticRegression(b.SparseDim())
+	lr.Fit(trainX, trainY)
+
+	var testX []features.SparseVec
+	var testY []bool
+	for _, exs := range b.BuildDataset(split.Test) {
+		for _, ex := range exs {
+			testX = append(testX, ex.Sparse)
+			testY = append(testY, ex.Label)
+		}
+	}
+	lrScores := lr.PredictAll(testX)
+
+	pmAUC := metrics.PRAUC(pmScores, pmLabels)
+	lrAUC := metrics.PRAUC(lrScores, testY)
+	if lrAUC <= pmAUC {
+		t.Fatalf("LR (%v) should beat percentage model (%v)", lrAUC, pmAUC)
+	}
+}

@@ -1,0 +1,126 @@
+package baselines
+
+import (
+	"math"
+
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// LogisticRegression is the §5.3 baseline: a linear model over the sparse
+// engineered feature space (one-hot context, one-hot bucketized elapsed
+// times, aggregation counts). The paper trains it with scikit-learn's saga
+// solver; saga and mini-batch Adam converge to the same optimum of this
+// convex objective, so Adam is used here to stay within the standard
+// library.
+type LogisticRegression struct {
+	// Dim is the feature-space size.
+	Dim int
+	// L2 is the ridge penalty; scikit-learn's default C=1 corresponds to
+	// λ = 1/n, approximated here as a small constant.
+	L2 float64
+	// Epochs and BatchSize control the Adam loop.
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      uint64
+
+	W    tensor.Vector
+	Bias float64
+}
+
+// NewLogisticRegression returns a model for the given feature dimension
+// with training defaults that converge on all three datasets.
+func NewLogisticRegression(dim int) *LogisticRegression {
+	return &LogisticRegression{
+		Dim:       dim,
+		L2:        1e-6,
+		Epochs:    4,
+		BatchSize: 256,
+		LR:        0.05,
+		Seed:      1,
+	}
+}
+
+// Fit trains on sparse examples with binary labels.
+func (m *LogisticRegression) Fit(xs []features.SparseVec, ys []bool) {
+	if len(xs) != len(ys) {
+		panic("baselines: LogisticRegression.Fit: length mismatch")
+	}
+	m.W = tensor.NewVector(m.Dim)
+	m.Bias = 0
+	if len(xs) == 0 {
+		return
+	}
+	// Adam state for the dense weight vector plus bias.
+	mW := tensor.NewVector(m.Dim)
+	vW := tensor.NewVector(m.Dim)
+	var mB, vB float64
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	t := 0
+	grad := tensor.NewVector(m.Dim)
+	touched := make([]int32, 0, 1024)
+
+	rng := tensor.NewRNG(m.Seed)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		perm := rng.Perm(len(xs))
+		for start := 0; start < len(perm); start += m.BatchSize {
+			end := start + m.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			batch := perm[start:end]
+			// Accumulate sparse gradient.
+			touched = touched[:0]
+			var gBias float64
+			for _, i := range batch {
+				x := &xs[i]
+				logit := m.Bias + x.Dot(m.W)
+				p := nn.Sigmoid(logit)
+				y := 0.0
+				if ys[i] {
+					y = 1
+				}
+				g := (p - y) / float64(len(batch))
+				for k, idx := range x.Idx {
+					if grad[idx] == 0 {
+						touched = append(touched, idx)
+					}
+					grad[idx] += g * x.Val[k]
+				}
+				gBias += g
+			}
+			// Adam update on touched coordinates (lazy update keeps the
+			// step sparse; L2 applies only to touched weights, a standard
+			// sparse-training approximation).
+			t++
+			bc1 := 1 - math.Pow(beta1, float64(t))
+			bc2 := 1 - math.Pow(beta2, float64(t))
+			for _, idx := range touched {
+				g := grad[idx] + m.L2*m.W[idx]
+				mW[idx] = beta1*mW[idx] + (1-beta1)*g
+				vW[idx] = beta2*vW[idx] + (1-beta2)*g*g
+				m.W[idx] -= m.LR * (mW[idx] / bc1) / (math.Sqrt(vW[idx]/bc2) + eps)
+				grad[idx] = 0
+			}
+			mB = beta1*mB + (1-beta1)*gBias
+			vB = beta2*vB + (1-beta2)*gBias*gBias
+			m.Bias -= m.LR * (mB / bc1) / (math.Sqrt(vB/bc2) + eps)
+		}
+	}
+}
+
+// Predict returns P(access) for one sparse feature vector.
+func (m *LogisticRegression) Predict(x *features.SparseVec) float64 {
+	return nn.Sigmoid(m.Bias + x.Dot(m.W))
+}
+
+// PredictAll returns predictions for a batch.
+func (m *LogisticRegression) PredictAll(xs []features.SparseVec) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		out[i] = m.Predict(&xs[i])
+	}
+	return out
+}

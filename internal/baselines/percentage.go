@@ -1,0 +1,103 @@
+// Package baselines implements the paper's traditional comparison models:
+// the percentage-based model (§5.1) and logistic regression over the
+// engineered feature space (§5.3). The GBDT baseline (§5.4) lives in
+// internal/gbdt.
+package baselines
+
+import (
+	"repro/internal/dataset"
+)
+
+// PercentageModel is the §5.1 baseline: the predicted probability is the
+// user's historical access percentage, seeded with the global average
+// access percentage α so new users start at the population prior:
+//
+//	P(A_n) = (α + Σ A_i) / n
+//
+// For timeshift the average runs over past peak windows instead of
+// sessions.
+type PercentageModel struct {
+	// Alpha is the smoothing prior in (0, 1); Fit sets it to the global
+	// positive rate of the training data.
+	Alpha float64
+}
+
+// Fit estimates α from the training dataset's global positive rate.
+func (m *PercentageModel) Fit(train *dataset.Dataset) {
+	m.Alpha = train.PositiveRate()
+	if m.Alpha <= 0 {
+		m.Alpha = 1e-3 // degenerate training data; keep predictions proper
+	}
+	if m.Alpha >= 1 {
+		m.Alpha = 1 - 1e-3
+	}
+}
+
+// PercentageState is the per-user streaming state: counts only — the §5.1
+// model needs nothing else, which is why the paper calls it a near-
+// universal zero-training baseline (§10.1).
+type PercentageState struct {
+	Accesses int
+	Events   int
+}
+
+// Predict returns the access probability for the user's next event.
+func (m *PercentageModel) Predict(st PercentageState) float64 {
+	return (m.Alpha + float64(st.Accesses)) / float64(st.Events+1)
+}
+
+// Update folds one observed label into the state.
+func (st *PercentageState) Update(access bool) {
+	st.Events++
+	if access {
+		st.Accesses++
+	}
+}
+
+// EvaluateSessions replays each user and returns the model's predictions
+// for sessions at/after minTs, with matching labels. History before minTs
+// warms the per-user counters. A session's outcome becomes visible to the
+// counters only after its window closes (the same δ = session length + ε
+// that delays the RNN's hidden updates, §6.1).
+func (m *PercentageModel) EvaluateSessions(d *dataset.Dataset, minTs int64) (scores []float64, labels []bool) {
+	delay := d.Schema.SessionLength + 60
+	for _, u := range d.Users {
+		var st PercentageState
+		pending := 0
+		for _, s := range u.Sessions {
+			for pending < len(u.Sessions) && u.Sessions[pending].Timestamp < s.Timestamp-delay {
+				st.Update(u.Sessions[pending].Access)
+				pending++
+			}
+			if s.Timestamp >= minTs {
+				scores = append(scores, m.Predict(st))
+				labels = append(labels, s.Access)
+			}
+		}
+	}
+	return scores, labels
+}
+
+// EvaluateWindows is the timeshift variant: one prediction per peak window,
+// averaging over past windows (§5.1's PA formulation).
+func (m *PercentageModel) EvaluateWindows(d *dataset.Dataset, minTs int64) (scores []float64, labels []bool) {
+	for _, u := range d.Users {
+		var st PercentageState
+		for _, w := range u.Windows {
+			if w.Start >= minTs {
+				scores = append(scores, m.Predict(st))
+				labels = append(labels, w.Accessed)
+			}
+			st.Update(w.Accessed)
+		}
+	}
+	return scores, labels
+}
+
+// Evaluate dispatches to sessions or windows according to the schema.
+func (m *PercentageModel) Evaluate(d *dataset.Dataset, minTs int64) (scores []float64, labels []bool) {
+	if d.Schema.HasPeakWindows {
+		return m.EvaluateWindows(d, minTs)
+	}
+	return m.EvaluateSessions(d, minTs)
+}

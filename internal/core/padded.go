@@ -1,0 +1,121 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+// PaddedStats reports the §7.1 batching comparison: the paper found that
+// padding user histories to a uniform batch length wastes an excessive
+// number of operations because history lengths are heavily long-tailed
+// (Figure 5), and that evaluating users independently ("custom
+// parallelism") trains models twice as fast.
+type PaddedStats struct {
+	// RealSteps is the number of recurrent steps carrying actual sessions.
+	RealSteps int
+	// PaddedSteps is the number of steps a padded batch evaluates:
+	// Σ_batches batchSize × maxLen(batch).
+	PaddedSteps int
+}
+
+// WasteFactor returns PaddedSteps/RealSteps — the compute multiplier
+// padding imposes (≈2× on the paper's data).
+func (s PaddedStats) WasteFactor() float64 {
+	if s.RealSteps == 0 {
+		return 1
+	}
+	return float64(s.PaddedSteps) / float64(s.RealSteps)
+}
+
+// PaddedBatchStats computes, without training, how many recurrent steps a
+// padded-batch evaluation of d would execute versus per-user evaluation,
+// for the given batch size and deterministic shuffle seed.
+func PaddedBatchStats(d *dataset.Dataset, batchUsers int, seed uint64) PaddedStats {
+	order := tensor.NewRNG(seed).Perm(len(d.Users))
+	var st PaddedStats
+	for start := 0; start < len(order); start += batchUsers {
+		end := start + batchUsers
+		if end > len(order) {
+			end = len(order)
+		}
+		maxLen := 0
+		for _, ui := range order[start:end] {
+			n := len(d.Users[ui].Sessions)
+			st.RealSteps += n
+			if n > maxLen {
+				maxLen = n
+			}
+		}
+		st.PaddedSteps += maxLen * (end - start)
+	}
+	return st
+}
+
+// TrainEpochPadded runs one training epoch exactly like Trainer.TrainEpoch
+// but emulates the cost of padded-batch evaluation: after processing each
+// user it executes the padding steps (recurrent steps over zero inputs,
+// discarded) that a uniform-length batch would have computed. Gradients and
+// model updates are identical to the per-user path — only the wall-clock
+// cost differs — so benchmarks can compare the two schemes' throughput on
+// the same convergence trajectory.
+func (t *Trainer) TrainEpochPadded(d *dataset.Dataset, epoch uint64) (meanLoss float64, stats PaddedStats) {
+	users := d.Users
+	if t.Cfg.MaxHistory > 0 {
+		users = dataset.TruncateHistories(d, t.Cfg.MaxHistory).Users
+	}
+	order := tensor.NewRNG(t.Cfg.Seed ^ (epoch * 0x9e37)).Perm(len(users))
+
+	lossMinTs := d.Start
+	if t.Cfg.LossLastDays > 0 {
+		lossMinTs = d.CutoffForLastDays(t.Cfg.LossLastDays)
+	}
+
+	zeroIn := tensor.NewVector(t.Model.updateDim)
+	zeroState := t.Model.InitialState()
+
+	var epochLoss float64
+	var epochN int
+	for start := 0; start < len(order); start += t.Cfg.BatchUsers {
+		end := start + t.Cfg.BatchUsers
+		if end > len(order) {
+			end = len(order)
+		}
+		batch := order[start:end]
+		maxLen := 0
+		for _, ui := range batch {
+			if n := len(users[ui].Sessions); n > maxLen {
+				maxLen = n
+			}
+		}
+
+		t.Model.Params().ZeroGrad()
+		var batchLoss float64
+		var batchN int
+		for _, ui := range batch {
+			u := users[ui]
+			rng := tensor.NewRNG(t.Cfg.Seed ^ uint64(ui)*0x9e3779b97f4a7c15 ^ epoch)
+			loss, n := t.Model.backpropUser(u, d, lossMinTs, t.Cfg.TimeshiftLead, rng, t.Cfg.FreezeCell)
+			batchLoss += loss
+			batchN += n
+			stats.RealSteps += len(u.Sessions)
+			// Padding: evaluate the wasted steps a uniform-length batch
+			// would compute (forward only, as frameworks mask the loss but
+			// still execute the cell).
+			for p := len(u.Sessions); p < maxLen; p++ {
+				t.Model.cell.Step(zeroState, zeroIn)
+			}
+		}
+		stats.PaddedSteps += maxLen * len(batch)
+		if batchN == 0 {
+			continue
+		}
+		t.Model.Params().ScaleGrads(1 / float64(batchN))
+		t.adam.Step()
+		epochLoss += batchLoss
+		epochN += batchN
+	}
+	if epochN > 0 {
+		meanLoss = epochLoss / float64(epochN)
+	}
+	return meanLoss, stats
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// DefaultEpsilon is the hidden-update processing lag ε added to the session
+// length to form δ (§6.1 "Update delays": δ = session length + ε).
+const DefaultEpsilon int64 = 60
+
+// Delta returns the update-delay horizon δ for a schema.
+func Delta(schema *dataset.Schema) int64 {
+	return schema.SessionLength + DefaultEpsilon
+}
+
+// DefaultTimeshiftLead is how far before the peak window the timeshift
+// prediction is made (§3.2.1 precomputes "several hours in advance").
+const DefaultTimeshiftLead int64 = 6 * 3600
+
+// lagIndexer computes k(i) = max k such that t_k < pt − δ via a two-pointer
+// sweep over ascending prediction times (§6.1, eq. 2). Index k is 1-based
+// over sessions; k = 0 means only the initial state h_0 is available.
+type lagIndexer struct {
+	times []int64
+	delta int64
+	k     int
+}
+
+// next returns (k, t_k) for prediction time pt; pt values must be
+// non-decreasing across calls. t_k is 0 when k == 0 (the paper then sets
+// t_i − t_k = 0).
+func (l *lagIndexer) next(pt int64) (int, int64) {
+	for l.k < len(l.times) && l.times[l.k] < pt-l.delta {
+		l.k++
+	}
+	if l.k == 0 {
+		return 0, 0
+	}
+	return l.k, l.times[l.k-1]
+}
+
+// runUpdates folds every session of u into the hidden state, returning
+// states[0..n] (states[0] = h_0 = 0, states[i] = state after session i) and
+// per-step caches when keepCaches is set (needed for BPTT; evaluation skips
+// them to save memory).
+func (m *Model) runUpdates(u *dataset.User, keepCaches bool) (states []tensor.Vector, caches []nn.StepCache) {
+	n := len(u.Sessions)
+	states = make([]tensor.Vector, n+1)
+	states[0] = m.InitialState()
+	if keepCaches {
+		caches = make([]nn.StepCache, n)
+	}
+	in := tensor.NewVector(m.updateDim)
+	var prevTS int64
+	for i, s := range u.Sessions {
+		var dt int64
+		if i > 0 {
+			dt = s.Timestamp - prevTS
+		}
+		m.BuildUpdateInput(s.Timestamp, s.Cat, s.Access, dt, in)
+		next, cache := m.cell.Step(states[i], in)
+		states[i+1] = next
+		if keepCaches {
+			caches[i] = cache
+		}
+		prevTS = s.Timestamp
+	}
+	return states, caches
+}
+
+// sessionTimes extracts the timestamp slice of a user's sessions.
+func sessionTimes(u *dataset.User) []int64 {
+	ts := make([]int64, len(u.Sessions))
+	for i, s := range u.Sessions {
+		ts[i] = s.Timestamp
+	}
+	return ts
+}
+
+// EvaluateSessions replays the test users and returns inference-mode
+// predictions and labels for sessions at/after minTs, honouring the δ lag:
+// the prediction for session i reads the newest hidden state h_k with
+// t_k < t_i − δ, exactly as the serving tier would (§8 evaluates the last 7
+// days).
+func (m *Model) EvaluateSessions(d *dataset.Dataset, minTs int64) (scores []float64, labels []bool) {
+	return m.EvaluateSessionsTransformed(d, minTs, nil)
+}
+
+// EvaluateSessionsTransformed is EvaluateSessions with a hook applied to
+// the visible hidden vector before each prediction — the storage layer's
+// view of the state. Passing a quantise/dequantise round-trip measures the
+// quality cost of compressed hidden states (§9 suggests single-byte
+// quantization to shrink the per-user footprint 4×). A nil transform is the
+// identity.
+func (m *Model) EvaluateSessionsTransformed(d *dataset.Dataset, minTs int64,
+	transform func(tensor.Vector) tensor.Vector) (scores []float64, labels []bool) {
+
+	delta := Delta(d.Schema)
+	f := tensor.NewVector(m.predictDim)
+	for _, u := range d.Users {
+		states, _ := m.runUpdates(u, false)
+		lag := lagIndexer{times: sessionTimes(u), delta: delta}
+		for _, s := range u.Sessions {
+			k, tk := lag.next(s.Timestamp)
+			if s.Timestamp < minTs {
+				continue
+			}
+			var sinceK int64
+			if k > 0 {
+				sinceK = s.Timestamp - tk
+			}
+			m.BuildPredictInput(s.Timestamp, s.Cat, sinceK, f)
+			h := states[k][:m.HiddenDim()]
+			if transform != nil {
+				h = transform(h)
+			}
+			scores = append(scores, m.Predict(h, f))
+			labels = append(labels, s.Access)
+		}
+	}
+	return scores, labels
+}
+
+// EvaluateWindows is the timeshift variant (eq. 3): one prediction per peak
+// window from the newest hidden state older than start_d − lead.
+func (m *Model) EvaluateWindows(d *dataset.Dataset, minTs int64, lead int64) (scores []float64, labels []bool) {
+	if lead <= 0 {
+		lead = DefaultTimeshiftLead
+	}
+	f := tensor.NewVector(m.predictDim)
+	for _, u := range d.Users {
+		states, _ := m.runUpdates(u, false)
+		lag := lagIndexer{times: sessionTimes(u), delta: lead}
+		for _, w := range u.Windows {
+			k, tk := lag.next(w.Start)
+			if w.Start < minTs {
+				continue
+			}
+			var sinceK int64
+			if k > 0 {
+				sinceK = w.Start - tk
+			}
+			m.BuildTimeshiftPredictInput(sinceK, f)
+			h := states[k][:m.HiddenDim()]
+			scores = append(scores, m.Predict(h, f))
+			labels = append(labels, w.Accessed)
+		}
+	}
+	return scores, labels
+}
+
+// Evaluate dispatches on the schema: sessions or peak windows.
+func (m *Model) Evaluate(d *dataset.Dataset, minTs int64) (scores []float64, labels []bool) {
+	if d.Schema.HasPeakWindows {
+		return m.EvaluateWindows(d, minTs, DefaultTimeshiftLead)
+	}
+	return m.EvaluateSessions(d, minTs)
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// TrainConfig holds the §7 training procedure settings.
+type TrainConfig struct {
+	// LR is the Adam learning rate (1e-3 in the paper).
+	LR float64
+	// Epochs: 1 suffices for the large datasets, 8 for MPU (§7.1).
+	Epochs int
+	// BatchUsers is the minibatch size in users (10 in the paper).
+	BatchUsers int
+	// LossLastDays restricts the training loss to predictions in the final
+	// N days of the window (21 in §6.3; ablation A4 sweeps it; 0 = all).
+	LossLastDays int
+	// MaxHistory truncates user histories to the most recent N sessions
+	// (10,000 for MPU in §7.1; 0 = unlimited).
+	MaxHistory int
+	// Workers bounds the per-user parallel evaluation goroutines (§7.1);
+	// 0 = GOMAXPROCS.
+	Workers int
+	// ClipNorm caps the global gradient norm per step (0 disables); long
+	// sequences occasionally spike gradients (§6.3 footnote on stability).
+	ClipNorm float64
+	// TimeshiftLead is the prediction lead for timeshift models.
+	TimeshiftLead int64
+	// FreezeCell trains only the prediction head (latent cross + MLP),
+	// leaving the recurrent cell untouched. §9 "Retraining the model"
+	// proposes this as the fast path to shipping a new model version
+	// without invalidating the hidden states already in the serving store:
+	// frozen GRU parameters keep every stored state valid, and skipping
+	// backpropagation through time makes retraining significantly faster.
+	FreezeCell bool
+	Seed       uint64
+}
+
+// DefaultTrainConfig returns the paper's settings.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		LR:            1e-3,
+		Epochs:        1,
+		BatchUsers:    10,
+		LossLastDays:  21,
+		MaxHistory:    10000,
+		ClipNorm:      5,
+		TimeshiftLead: DefaultTimeshiftLead,
+		Seed:          1,
+	}
+}
+
+// LossPoint is one point of the Figure 4 training curve: cumulative
+// labelled examples processed and the average log loss of the minibatch
+// that ended there.
+type LossPoint struct {
+	ExamplesProcessed int
+	Loss              float64
+}
+
+// Trainer runs minibatch BPTT over users.
+type Trainer struct {
+	Model *Model
+	Cfg   TrainConfig
+	adam  *opt.Adam
+	// Curve accumulates the Figure 4 loss curve across epochs.
+	Curve []LossPoint
+	// processed counts labelled examples consumed so far.
+	processed int
+	// replicas are reusable per-worker gradient buffers (values aliased to
+	// Model, gradients owned), so the per-user scheme allocates no
+	// parameter-sized buffers per user.
+	replicas []*Model
+}
+
+// NewTrainer wires a model to Adam with the configured learning rate.
+func NewTrainer(m *Model, cfg TrainConfig) *Trainer {
+	a := opt.NewAdam(m.Params(), cfg.LR)
+	a.ClipNorm = cfg.ClipNorm
+	return &Trainer{Model: m, Cfg: cfg, adam: a}
+}
+
+// Train runs the configured number of epochs over the training users and
+// returns the final epoch's mean loss.
+func (t *Trainer) Train(d *dataset.Dataset) float64 {
+	var last float64
+	for e := 0; e < t.Cfg.Epochs; e++ {
+		last = t.TrainEpoch(d, uint64(e))
+	}
+	return last
+}
+
+// TrainEpoch runs one pass over d's users in minibatches of BatchUsers,
+// using the §7.1 "custom parallelism": each user's forward/backward runs
+// independently (on its own goroutine, with gradients in a worker replica),
+// and gradients are merged in deterministic user order before the Adam
+// step. Returns the epoch's example-weighted mean loss.
+func (t *Trainer) TrainEpoch(d *dataset.Dataset, epoch uint64) float64 {
+	users := d.Users
+	if t.Cfg.MaxHistory > 0 {
+		users = dataset.TruncateHistories(d, t.Cfg.MaxHistory).Users
+	}
+	order := tensor.NewRNG(t.Cfg.Seed ^ (epoch * 0x9e37)).Perm(len(users))
+
+	workers := t.Cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for len(t.replicas) < workers {
+		t.replicas = append(t.replicas, t.Model.gradClone())
+	}
+
+	lossMinTs := d.Start
+	if t.Cfg.LossLastDays > 0 {
+		lossMinTs = d.CutoffForLastDays(t.Cfg.LossLastDays)
+	}
+
+	var epochLoss float64
+	var epochN int
+	for start := 0; start < len(order); start += t.Cfg.BatchUsers {
+		end := start + t.Cfg.BatchUsers
+		if end > len(order) {
+			end = len(order)
+		}
+		batch := order[start:end]
+
+		type result struct {
+			loss float64
+			n    int
+		}
+		results := make([]result, len(batch))
+		nw := workers
+		if nw > len(batch) {
+			nw = len(batch)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				replica := t.replicas[w]
+				replica.Params().ZeroGrad()
+				// Strided assignment keeps work deterministic per worker.
+				for bi := w; bi < len(batch); bi += nw {
+					ui := batch[bi]
+					rng := tensor.NewRNG(t.Cfg.Seed ^ uint64(ui)*0x9e3779b97f4a7c15 ^ epoch)
+					loss, n := replica.backpropUser(users[ui], d, lossMinTs, t.Cfg.TimeshiftLead, rng, t.Cfg.FreezeCell)
+					results[bi] = result{loss: loss, n: n}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		t.Model.Params().ZeroGrad()
+		var batchLoss float64
+		var batchN int
+		// Merge worker gradients in worker order (deterministic).
+		for w := 0; w < nw; w++ {
+			t.Model.Params().AddGrads(t.replicas[w].Params())
+		}
+		for _, r := range results {
+			batchLoss += r.loss
+			batchN += r.n
+		}
+		if batchN == 0 {
+			continue
+		}
+		// Average log loss over all prediction/label pairs in the batch
+		// (§7.1).
+		t.Model.Params().ScaleGrads(1 / float64(batchN))
+		t.adam.Step()
+
+		epochLoss += batchLoss
+		epochN += batchN
+		t.processed += batchN
+		t.Curve = append(t.Curve, LossPoint{
+			ExamplesProcessed: t.processed,
+			Loss:              batchLoss / float64(batchN),
+		})
+	}
+	if epochN == 0 {
+		return 0
+	}
+	return epochLoss / float64(epochN)
+}
+
+// backpropUser runs the full forward pass over one user, computes the
+// training loss on the labelled examples at/after lossMinTs, then
+// backpropagates through time. Gradients accumulate (unscaled) into the
+// model's parameters; the caller averages over the batch. Returns the
+// summed loss and the number of labelled examples.
+//
+// With freezeCell set, only the prediction head receives gradients: the
+// chain backward is skipped entirely (no per-step caches are even kept), the
+// §9 fast-retraining path.
+func (m *Model) backpropUser(u *dataset.User, d *dataset.Dataset, lossMinTs int64, lead int64, rng *tensor.RNG, freezeCell bool) (float64, int) {
+	if len(u.Sessions) == 0 && !m.Cfg.Timeshift {
+		return 0, 0
+	}
+	states, caches := m.runUpdates(u, !freezeCell)
+	times := sessionTimes(u)
+
+	var preds []*predCache
+	var sumLoss float64
+
+	if m.Cfg.Timeshift {
+		lag := lagIndexer{times: times, delta: lead}
+		for _, w := range u.Windows {
+			k, tk := lag.next(w.Start)
+			if w.Start < lossMinTs {
+				continue
+			}
+			var sinceK int64
+			if k > 0 {
+				sinceK = w.Start - tk
+			}
+			f := m.BuildTimeshiftPredictInput(sinceK, nil)
+			c := &predCache{k: k}
+			logit := m.predictForward(states[k][:m.HiddenDim()], f, true, rng, c)
+			y := 0.0
+			if w.Accessed {
+				y = 1
+			}
+			loss, dLogit := nn.BCEWithLogits(logit, y)
+			c.dLogit = dLogit
+			sumLoss += loss
+			preds = append(preds, c)
+		}
+	} else {
+		lag := lagIndexer{times: times, delta: Delta(d.Schema)}
+		for _, s := range u.Sessions {
+			k, tk := lag.next(s.Timestamp)
+			if s.Timestamp < lossMinTs {
+				continue
+			}
+			var sinceK int64
+			if k > 0 {
+				sinceK = s.Timestamp - tk
+			}
+			f := m.BuildPredictInput(s.Timestamp, s.Cat, sinceK, nil)
+			c := &predCache{k: k}
+			logit := m.predictForward(states[k][:m.HiddenDim()], f, true, rng, c)
+			y := 0.0
+			if s.Access {
+				y = 1
+			}
+			loss, dLogit := nn.BCEWithLogits(logit, y)
+			c.dLogit = dLogit
+			sumLoss += loss
+			preds = append(preds, c)
+		}
+	}
+	if len(preds) == 0 {
+		return 0, 0
+	}
+
+	// Backward: prediction heads first (they deposit gradient at their
+	// hidden index k), then backpropagation through time over the chain.
+	n := len(u.Sessions)
+	dStates := make([]tensor.Vector, n+1)
+	hid := m.HiddenDim()
+	for _, c := range preds {
+		dh := m.predictBackward(c, states[c.k][:hid])
+		if freezeCell {
+			continue
+		}
+		if dStates[c.k] == nil {
+			dStates[c.k] = tensor.NewVector(m.cell.StateSize())
+		}
+		dStates[c.k][:hid].Add(dh)
+	}
+	if freezeCell {
+		return sumLoss, len(preds)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if dStates[i+1] == nil {
+			continue
+		}
+		if dStates[i] == nil {
+			dStates[i] = tensor.NewVector(m.cell.StateSize())
+		}
+		m.cell.Backward(caches[i], dStates[i+1], nil, dStates[i])
+	}
+	return sumLoss, len(preds)
+}

@@ -1,0 +1,243 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The binary codec serialises datasets compactly for cmd/ppgen output and
+// cmd/ppbench input. Format (little-endian):
+//
+//	magic "PPDS" | version u32 | schema block | start i64 | end i64 |
+//	numUsers u32 | per-user blocks
+//
+// Strings are u32-length-prefixed UTF-8.
+
+const (
+	codecMagic   = "PPDS"
+	codecVersion = 1
+)
+
+// Write serialises d to w.
+func Write(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	writeU32(bw, codecVersion)
+	writeString(bw, d.Schema.Name)
+	writeI64(bw, d.Schema.SessionLength)
+	writeU32(bw, uint32(len(d.Schema.Cat)))
+	for _, c := range d.Schema.Cat {
+		writeString(bw, c.Name)
+		writeU32(bw, uint32(c.Cardinality))
+	}
+	writeBool(bw, d.Schema.HasPeakWindows)
+	writeU32(bw, uint32(d.Schema.PeakStartHour))
+	writeU32(bw, uint32(d.Schema.PeakEndHour))
+	writeI64(bw, d.Start)
+	writeI64(bw, d.End)
+	writeU32(bw, uint32(len(d.Users)))
+	for _, u := range d.Users {
+		writeU32(bw, uint32(u.ID))
+		writeU32(bw, uint32(len(u.Sessions)))
+		for _, s := range u.Sessions {
+			writeI64(bw, s.Timestamp)
+			writeBool(bw, s.Access)
+			for _, v := range s.Cat {
+				writeU32(bw, uint32(v))
+			}
+		}
+		writeU32(bw, uint32(len(u.Windows)))
+		for _, pw := range u.Windows {
+			writeU32(bw, uint32(pw.Day))
+			writeI64(bw, pw.Start)
+			writeI64(bw, pw.End)
+			writeBool(bw, pw.Accessed)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a dataset previously produced by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	version, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("dataset: unsupported version %d", version)
+	}
+	schema := &Schema{}
+	if schema.Name, err = readString(br); err != nil {
+		return nil, err
+	}
+	if schema.SessionLength, err = readI64(br); err != nil {
+		return nil, err
+	}
+	nCat, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	schema.Cat = make([]CatFeature, nCat)
+	for i := range schema.Cat {
+		if schema.Cat[i].Name, err = readString(br); err != nil {
+			return nil, err
+		}
+		card, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		schema.Cat[i].Cardinality = int(card)
+	}
+	if schema.HasPeakWindows, err = readBool(br); err != nil {
+		return nil, err
+	}
+	psh, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	peh, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	schema.PeakStartHour, schema.PeakEndHour = int(psh), int(peh)
+
+	d := &Dataset{Schema: schema}
+	if d.Start, err = readI64(br); err != nil {
+		return nil, err
+	}
+	if d.End, err = readI64(br); err != nil {
+		return nil, err
+	}
+	nUsers, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	d.Users = make([]*User, nUsers)
+	for ui := range d.Users {
+		id, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		nSess, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		u := &User{ID: int(id), Sessions: make([]Session, nSess)}
+		for si := range u.Sessions {
+			s := &u.Sessions[si]
+			if s.Timestamp, err = readI64(br); err != nil {
+				return nil, err
+			}
+			if s.Access, err = readBool(br); err != nil {
+				return nil, err
+			}
+			s.Cat = make([]int, nCat)
+			for ci := range s.Cat {
+				v, err := readU32(br)
+				if err != nil {
+					return nil, err
+				}
+				s.Cat[ci] = int(v)
+			}
+		}
+		nWin, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if nWin > 0 {
+			u.Windows = make([]PeakWindow, nWin)
+			for wi := range u.Windows {
+				w := &u.Windows[wi]
+				day, err := readU32(br)
+				if err != nil {
+					return nil, err
+				}
+				w.Day = int(day)
+				if w.Start, err = readI64(br); err != nil {
+					return nil, err
+				}
+				if w.End, err = readI64(br); err != nil {
+					return nil, err
+				}
+				if w.Accessed, err = readBool(br); err != nil {
+					return nil, err
+				}
+			}
+		}
+		d.Users[ui] = u
+	}
+	return d, d.Validate()
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.Write(buf[:]) //nolint:errcheck // flushed at end; bufio sticky error
+}
+
+func writeI64(w *bufio.Writer, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	w.Write(buf[:]) //nolint:errcheck
+}
+
+func writeBool(w *bufio.Writer, v bool) {
+	if v {
+		w.WriteByte(1) //nolint:errcheck
+	} else {
+		w.WriteByte(0) //nolint:errcheck
+	}
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s) //nolint:errcheck
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readI64(r *bufio.Reader) (int64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func readBool(r *bufio.Reader) (bool, error) {
+	b, err := r.ReadByte()
+	if err != nil {
+		return false, err
+	}
+	return b != 0, nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	d := sampleDataset(5, 12, 77)
+	d.Schema.HasPeakWindows = true
+	d.Schema.PeakStartHour, d.Schema.PeakEndHour = 17, 21
+	d.Users[0].Windows = []PeakWindow{{Day: 1, Start: d.Start + Day, End: d.Start + Day + 3600, Accessed: true}}
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, d); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if got.Schema.Name != d.Schema.Name || got.NumSessions() != d.NumSessions() {
+		t.Fatalf("round trip mismatch")
+	}
+	if got.PositiveRate() != d.PositiveRate() {
+		t.Fatalf("positive rate changed")
+	}
+	if len(got.Users[0].Windows) != 1 || !got.Users[0].Windows[0].Accessed {
+		t.Fatalf("windows lost")
+	}
+	for i, u := range got.Users {
+		want := d.Users[i]
+		for j, s := range u.Sessions {
+			ws := want.Sessions[j]
+			if s.Timestamp != ws.Timestamp || s.Access != ws.Access || s.Cat[0] != ws.Cat[0] {
+				t.Fatalf("session %d/%d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestJSONLRejectsBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Fatalf("empty input must fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatalf("non-JSON must fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"other"}` + "\n")); err == nil {
+		t.Fatalf("wrong header kind must fail")
+	}
+	// Header OK but bad user line.
+	in := `{"kind":"ppds-header","schema":"x","session_length":600,"cat":[],"start":0,"end":86400}` + "\n" + `{"kind":"wrong"}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatalf("wrong user kind must fail")
+	}
+}
+
+func TestJSONLValidates(t *testing.T) {
+	// Out-of-window session must be rejected by the embedded validation.
+	in := `{"kind":"ppds-header","schema":"x","session_length":600,"cat":[],"start":0,"end":86400}` + "\n" +
+		`{"kind":"user","id":1,"sessions":[{"ts":999999999,"access":false,"cat":[]}]}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatalf("invalid dataset must fail validation")
+	}
+}

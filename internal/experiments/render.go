@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one experiment's rendered result: a titled table plus notes
+// comparing against the paper's published numbers.
+type Report struct {
+	ID     string // e.g. "table3", "figure7"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the report as an aligned ASCII table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Header) > 0 {
+		writeRow(r.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// f3 formats a float at 3 decimals.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// f1pc formats a ratio as a percentage with 2 decimals.
+func f1pc(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// fint formats an integer.
+func fint(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/serving"
+)
+
+// Figure7 reproduces the online experiment: daily PR-AUC for cold-start
+// users served by the RNN vs the GBDT over 30 days. The paper observes the
+// RNN stabilising after ≈14 days and staying consistently ahead.
+func (l *Lab) Figure7() *Report {
+	res := l.onlineResult()
+	r := &Report{
+		ID:     "figure7",
+		Title:  "Online PR-AUC for MobileTab (cold-start cohort)",
+		Header: []string{"DAY", "RNN", "GBDT"},
+	}
+	fmtAUC := func(x float64) string {
+		if math.IsNaN(x) {
+			return "-"
+		}
+		return f3(x)
+	}
+	for day := 0; day < len(res.RNNDaily); day++ {
+		r.Rows = append(r.Rows, []string{
+			fint(day + 1), fmtAUC(res.RNNDaily[day]), fmtAUC(res.GBDTDaily[day]),
+		})
+	}
+	var rnnLate, gbLate float64
+	n := 0
+	for day := 14; day < len(res.RNNDaily); day++ {
+		if !math.IsNaN(res.RNNDaily[day]) && !math.IsNaN(res.GBDTDaily[day]) {
+			rnnLate += res.RNNDaily[day]
+			gbLate += res.GBDTDaily[day]
+			n++
+		}
+	}
+	if n > 0 {
+		r.Notes = append(r.Notes, fmt.Sprintf("mean PR-AUC after day 14: RNN %.3f vs GBDT %.3f (paper: RNN consistently superior after stabilising)",
+			rnnLate/float64(n), gbLate/float64(n)))
+	}
+	return r
+}
+
+// OnlineRecall reproduces the §9 production threshold comparison: recall at
+// the threshold targeting 60% precision, and the relative lift in
+// successful prefetches (paper: 51.1% vs 47.4% recall, +7.81% successful
+// prefetches).
+func (l *Lab) OnlineRecall() *Report {
+	res := l.onlineResult()
+	r := &Report{
+		ID:     "online-recall",
+		Title:  "Production threshold targeting 60% precision (paper: RNN 51.1% vs GBDT 47.4% recall, +7.81%)",
+		Header: []string{"MODEL", "PRECISION", "RECALL"},
+	}
+	r.Rows = append(r.Rows,
+		[]string{"RNN", f3(res.RNNPrecision), f3(res.RNNRecall)},
+		[]string{"GBDT", f3(res.GBDTPrecision), f3(res.GBDTRecall)},
+		[]string{"SUCCESSFUL PREFETCH GAIN", "", f1pc(res.SuccessfulPrefetchGain)},
+	)
+	return r
+}
+
+// onlineCache memoises the (expensive) online replay.
+func (l *Lab) onlineResult() serving.OnlineResult {
+	if l.online != nil {
+		return *l.online
+	}
+	set := l.Models(DataMobileTab)
+	builder := features.NewBuilder(l.Dataset(DataMobileTab).Schema) // MinTs 0: cold start
+	res := serving.RunOnlineExperiment(set.RNN, set.GBDT, builder, set.Split.Test, serving.DefaultOnlineConfig())
+	l.online = &res
+	return res
+}
+
+// ServingCost reproduces the §9 serving-cost comparison at the paper's
+// production configuration (128-dim hidden state).
+func (l *Lab) ServingCost() *Report {
+	set := l.Models(DataMobileTab)
+	d := l.Dataset(DataMobileTab)
+
+	// Cost accounting is about the production shape: hidden 128, MLP 128.
+	cfg := core.DefaultConfig()
+	cfg.HiddenDim = 128
+	cfg.MLPHidden = 128
+	prod := core.New(d.Schema, cfg)
+
+	rep := serving.CompareCosts(prod, set.GBDT, d, serving.DefaultCostParams())
+	r := &Report{
+		ID:     "serving",
+		Title:  "Serving cost per prediction (paper: ≈9.5× model compute, ≈20 vs 1 lookups, ≈10× net reduction)",
+		Header: []string{"QUANTITY", "RNN", "GBDT"},
+	}
+	r.Rows = append(r.Rows,
+		[]string{"KV lookups / prediction", fmt.Sprintf("%.0f", rep.RNNLookupsPerPrediction), fmt.Sprintf("%.0f", rep.GBDTLookupsPerPrediction)},
+		[]string{"model compute (µs)", fmt.Sprintf("%.1f", rep.RNNModelNanos/1000), fmt.Sprintf("%.1f", rep.GBDTModelNanos/1000)},
+		[]string{"model compute ratio (RNN/GBDT)", fmt.Sprintf("%.1fx", rep.ModelComputeRatio), ""},
+		[]string{"serving cost (µs, incl. lookups)", fmt.Sprintf("%.0f", rep.RNNServingNanos/1000), fmt.Sprintf("%.0f", rep.GBDTServingNanos/1000)},
+		[]string{"net serving reduction (GBDT/RNN)", fmt.Sprintf("%.1fx", rep.ServingCostRatio), ""},
+		[]string{"state bytes / user", fint(rep.RNNStateBytes), fmt.Sprintf("%.0f (%.0f keys)", rep.AggStateBytesPerUser, rep.AggKeysPerUser)},
+	)
+	return r
+}
+
+// Batching reproduces the §7.1 claim: per-user parallel evaluation trains
+// about twice as fast as padded batching on long-tailed histories.
+func (l *Lab) Batching() *Report {
+	d := l.ablationDataset()
+	stats := core.PaddedBatchStats(d, l.Scale.BatchUsers, l.Scale.Seed)
+
+	build := func() (*core.Model, *core.Trainer) {
+		cfg := core.DefaultConfig()
+		cfg.HiddenDim = l.Scale.HiddenDim
+		cfg.MLPHidden = l.Scale.MLPHidden
+		cfg.Seed = l.Scale.Seed
+		m := core.New(d.Schema, cfg)
+		tc := core.DefaultTrainConfig()
+		tc.BatchUsers = l.Scale.BatchUsers
+		tc.Seed = l.Scale.Seed
+		return m, core.NewTrainer(m, tc)
+	}
+
+	_, trA := build()
+	t0 := time.Now()
+	trA.TrainEpoch(d, 0)
+	perUser := time.Since(t0)
+
+	_, trB := build()
+	t0 = time.Now()
+	_, padStats := trB.TrainEpochPadded(d, 0)
+	padded := time.Since(t0)
+
+	r := &Report{
+		ID:     "batching",
+		Title:  "Per-user parallelism vs padded batching (paper: 2× faster training)",
+		Header: []string{"QUANTITY", "PER-USER", "PADDED"},
+	}
+	r.Rows = append(r.Rows,
+		[]string{"recurrent steps", fint(stats.RealSteps), fint(stats.PaddedSteps)},
+		[]string{"step waste factor", "1.00x", fmt.Sprintf("%.2fx", padStats.WasteFactor())},
+		[]string{"epoch wall time", perUser.Round(time.Millisecond).String(), padded.Round(time.Millisecond).String()},
+		[]string{"speedup", fmt.Sprintf("%.2fx", float64(padded)/float64(perUser)), ""},
+	)
+	r.Notes = append(r.Notes, "wall-time gap is below the step-waste factor because prediction/backprop work is not padded; the paper's 2x includes batch-framework overheads")
+	return r
+}
+
+// ablationDataset is a reduced MobileTab population reused by the ablation
+// experiments.
+func (l *Lab) ablationDataset() *dataset.Dataset {
+	if l.ablation == nil {
+		d := l.Dataset(DataMobileTab)
+		n := l.Scale.AblationUsers
+		if n > len(d.Users) {
+			n = len(d.Users)
+		}
+		l.ablation = &dataset.Dataset{Schema: d.Schema, Start: d.Start, End: d.End, Users: d.Users[:n]}
+	}
+	return l.ablation
+}

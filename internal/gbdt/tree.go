@@ -1,0 +1,91 @@
+package gbdt
+
+// growTree builds one regression tree by greedy histogram-based split
+// search over the given rows, using the XGBoost gain criterion.
+func growTree(cfg Config, binned [][]uint8, edges [][]float64, grad, hess []float64, rows []int32) *Tree {
+	t := &Tree{}
+	var build func(rows []int32, depth int) int32
+	build = func(rows []int32, depth int) int32 {
+		var sumG, sumH float64
+		for _, r := range rows {
+			sumG += grad[r]
+			sumH += hess[r]
+		}
+		leafValue := -cfg.LearningRate * sumG / (sumH + cfg.Lambda)
+
+		idx := int32(len(t.nodes))
+		t.nodes = append(t.nodes, node{left: -1, right: -1, value: leafValue})
+		if depth >= cfg.MaxDepth || len(rows) < 2 {
+			return idx
+		}
+
+		feat, bin, gain := bestSplit(cfg, binned, grad, hess, rows, sumG, sumH)
+		if feat < 0 || gain <= cfg.Gamma {
+			return idx
+		}
+
+		// Partition rows in place by the winning split.
+		col := binned[feat]
+		lo, hi := 0, len(rows)
+		for lo < hi {
+			if col[rows[lo]] <= uint8(bin) {
+				lo++
+			} else {
+				hi--
+				rows[lo], rows[hi] = rows[hi], rows[lo]
+			}
+		}
+		left := build(rows[:lo], depth+1)
+		right := build(rows[lo:], depth+1)
+		t.nodes[idx].feature = int32(feat)
+		t.nodes[idx].splitBin = uint8(bin)
+		t.nodes[idx].threshold = edges[feat][bin]
+		t.nodes[idx].left = left
+		t.nodes[idx].right = right
+		return idx
+	}
+	all := make([]int32, len(rows))
+	copy(all, rows)
+	build(all, 0)
+	return t
+}
+
+// bestSplit scans every feature's histogram for the highest-gain split.
+// Returns (-1, 0, 0) when no split satisfies the constraints.
+func bestSplit(cfg Config, binned [][]uint8, grad, hess []float64, rows []int32, sumG, sumH float64) (feat, bin int, gain float64) {
+	feat = -1
+	parentScore := sumG * sumG / (sumH + cfg.Lambda)
+	var histG [256]float64
+	var histH [256]float64
+
+	for f := range binned {
+		col := binned[f]
+		maxBin := 0
+		for i := range histG {
+			histG[i], histH[i] = 0, 0
+		}
+		for _, r := range rows {
+			b := col[r]
+			histG[b] += grad[r]
+			histH[b] += hess[r]
+			if int(b) > maxBin {
+				maxBin = int(b)
+			}
+		}
+		var leftG, leftH float64
+		for b := 0; b < maxBin; b++ {
+			leftG += histG[b]
+			leftH += histH[b]
+			rightG := sumG - leftG
+			rightH := sumH - leftH
+			if leftH < cfg.MinChildWeight || rightH < cfg.MinChildWeight {
+				continue
+			}
+			g := leftG*leftG/(leftH+cfg.Lambda) + rightG*rightG/(rightH+cfg.Lambda) - parentScore
+			if g > gain {
+				gain, feat, bin = g, f, b
+			}
+		}
+	}
+	return feat, bin, gain
+}

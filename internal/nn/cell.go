@@ -1,0 +1,60 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Cell abstracts the recurrent units compared in §6.2 of the paper: a basic
+// tanh unit, a gated recurrent unit (GRU) and a long short-term memory
+// (LSTM) unit. The paper selects the GRU after finding it performs best.
+//
+// A cell maps (state, input) → new state. The externally visible hidden
+// vector — what the predictor reads and what the serving tier stores per
+// user — is the first HiddenSize() components of the state. For GRU and
+// tanh cells the state is exactly the hidden vector; for the LSTM the state
+// is [h; c] and StateSize() == 2·HiddenSize().
+type Cell interface {
+	// InputSize is the length of the per-step input vector.
+	InputSize() int
+	// HiddenSize is the length of the externally visible hidden vector.
+	HiddenSize() int
+	// StateSize is the length of the full recurrent state.
+	StateSize() int
+	// Params returns all learnable parameters of the cell.
+	Params() Params
+	// Step computes the next state from the previous state and the input,
+	// returning an opaque cache holding the intermediates required by
+	// Backward. Step must not retain or mutate its arguments.
+	Step(state, x tensor.Vector) (next tensor.Vector, cache StepCache)
+	// Backward propagates dNext (gradient w.r.t. the state returned by
+	// Step) through the step that produced cache, accumulating parameter
+	// gradients and accumulating input/state gradients into dx and dPrev.
+	// Either dx or dPrev may be nil to skip that computation.
+	Backward(cache StepCache, dNext, dx, dPrev tensor.Vector)
+}
+
+// StepCache holds per-step intermediates for backpropagation through time.
+type StepCache interface{}
+
+// CellKind names a recurrent cell architecture.
+type CellKind string
+
+// Supported cell architectures (§6.2).
+const (
+	CellGRU  CellKind = "gru"
+	CellLSTM CellKind = "lstm"
+	CellTanh CellKind = "tanh"
+)
+
+// NewCell constructs a cell of the given kind with PyTorch-default
+// uniform(-1/√hidden, 1/√hidden) initialisation.
+func NewCell(kind CellKind, inputSize, hiddenSize int, rng *tensor.RNG) Cell {
+	switch kind {
+	case CellGRU:
+		return NewGRUCell(inputSize, hiddenSize, rng)
+	case CellLSTM:
+		return NewLSTMCell(inputSize, hiddenSize, rng)
+	case CellTanh:
+		return NewTanhCell(inputSize, hiddenSize, rng)
+	default:
+		panic("nn: unknown cell kind " + string(kind))
+	}
+}

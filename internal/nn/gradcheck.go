@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// GradCheck verifies analytic gradients against central finite differences.
+//
+// loss must be a deterministic function of the current parameter values
+// (re-run any stochastic components with a fixed seed). compute must zero
+// the gradients, run the forward+backward pass, and leave the analytic
+// gradients accumulated in params. GradCheck perturbs every scalar
+// parameter by ±eps and reports the worst relative error; it returns an
+// error if that exceeds tol.
+//
+// This is the correctness backstop for the hand-derived GRU/LSTM backward
+// passes that substitute for PyTorch autograd.
+func GradCheck(params Params, loss func() float64, compute func(), eps, tol float64) error {
+	compute()
+	analytic := make([][]float64, len(params))
+	for i, p := range params {
+		analytic[i] = append([]float64(nil), p.Grad...)
+	}
+
+	worst := 0.0
+	worstDesc := ""
+	for i, p := range params {
+		for j := range p.Value {
+			orig := p.Value[j]
+			p.Value[j] = orig + eps
+			lPlus := loss()
+			p.Value[j] = orig - eps
+			lMinus := loss()
+			p.Value[j] = orig
+
+			numeric := (lPlus - lMinus) / (2 * eps)
+			a := analytic[i][j]
+			denom := math.Max(1, math.Max(math.Abs(a), math.Abs(numeric)))
+			rel := math.Abs(a-numeric) / denom
+			if rel > worst {
+				worst = rel
+				worstDesc = fmt.Sprintf("%s[%d]: analytic=%.8g numeric=%.8g", p.Name, j, a, numeric)
+			}
+		}
+	}
+	if worst > tol {
+		return fmt.Errorf("nn: gradient check failed: worst relative error %.3g > %.3g (%s)", worst, tol, worstDesc)
+	}
+	return nil
+}

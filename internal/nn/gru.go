@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// GRUCell is a gated recurrent unit following the PyTorch nn.GRUCell
+// equations and weight layout (gate order r, z, n):
+//
+//	r  = σ(W_ir·x + b_ir + W_hr·h + b_hr)
+//	z  = σ(W_iz·x + b_iz + W_hz·h + b_hz)
+//	n  = tanh(W_in·x + b_in + r ∘ (W_hn·h + b_hn))
+//	h' = (1−z) ∘ n + z ∘ h
+//
+// This is the RNNupdate function of the paper (§6.1, eq. 1); the input x is
+// the concatenation [f_i; A_i; T(Δt_i)].
+type GRUCell struct {
+	in, hidden int
+	// Wih is (3·hidden)×in, Whh is (3·hidden)×hidden; rows [0,h) are the r
+	// gate, [h,2h) the z gate, [2h,3h) the n gate.
+	Wih, Whh, Bih, Bhh *Param
+}
+
+// NewGRUCell allocates a GRU cell with uniform(-1/√hidden, 1/√hidden)
+// initialisation (the PyTorch default).
+func NewGRUCell(inputSize, hiddenSize int, rng *tensor.RNG) *GRUCell {
+	c := &GRUCell{
+		in: inputSize, hidden: hiddenSize,
+		Wih: NewMatrixParam("gru.Wih", 3*hiddenSize, inputSize),
+		Whh: NewMatrixParam("gru.Whh", 3*hiddenSize, hiddenSize),
+		Bih: NewVectorParam("gru.bih", 3*hiddenSize),
+		Bhh: NewVectorParam("gru.bhh", 3*hiddenSize),
+	}
+	bound := 1 / math.Sqrt(float64(hiddenSize))
+	c.Params().InitUniform(rng, bound)
+	return c
+}
+
+// InputSize returns the per-step input length.
+func (c *GRUCell) InputSize() int { return c.in }
+
+// HiddenSize returns the hidden vector length.
+func (c *GRUCell) HiddenSize() int { return c.hidden }
+
+// StateSize equals HiddenSize for a GRU.
+func (c *GRUCell) StateSize() int { return c.hidden }
+
+// Params returns the cell's learnable parameters.
+func (c *GRUCell) Params() Params { return Params{c.Wih, c.Whh, c.Bih, c.Bhh} }
+
+type gruCache struct {
+	x, hPrev   tensor.Vector
+	r, z, n, q tensor.Vector // q = W_hn·h + b_hn, needed to route grads through r
+}
+
+// Step advances the hidden state by one session event.
+func (c *GRUCell) Step(state, x tensor.Vector) (tensor.Vector, StepCache) {
+	h := c.hidden
+	gi := tensor.NewVector(3 * h) // W_ih·x + b_ih
+	gh := tensor.NewVector(3 * h) // W_hh·h + b_hh
+	c.Wih.Matrix().MulVec(gi, x)
+	gi.Add(c.Bih.Value)
+	c.Whh.Matrix().MulVec(gh, state)
+	gh.Add(c.Bhh.Value)
+
+	cache := &gruCache{
+		x: x.Clone(), hPrev: state.Clone(),
+		r: tensor.NewVector(h), z: tensor.NewVector(h),
+		n: tensor.NewVector(h), q: tensor.NewVector(h),
+	}
+	next := tensor.NewVector(h)
+	for i := 0; i < h; i++ {
+		r := Sigmoid(gi[i] + gh[i])
+		z := Sigmoid(gi[h+i] + gh[h+i])
+		q := gh[2*h+i]
+		n := math.Tanh(gi[2*h+i] + r*q)
+		cache.r[i], cache.z[i], cache.n[i], cache.q[i] = r, z, n, q
+		next[i] = (1-z)*n + z*state[i]
+	}
+	return next, cache
+}
+
+// Backward propagates dNext through one GRU step.
+func (c *GRUCell) Backward(cache StepCache, dNext, dx, dPrev tensor.Vector) {
+	cc := cache.(*gruCache)
+	h := c.hidden
+	// Per-gate pre-activation gradients, laid out like the weight rows.
+	dai := tensor.NewVector(3 * h) // grads w.r.t. gi rows (r, z, n)
+	dah := tensor.NewVector(3 * h) // grads w.r.t. gh rows (r, z, n-part q)
+	dhLocal := tensor.NewVector(h)
+	for i := 0; i < h; i++ {
+		r, z, n, q := cc.r[i], cc.z[i], cc.n[i], cc.q[i]
+		dh := dNext[i]
+		dz := dh * (cc.hPrev[i] - n)
+		dn := dh * (1 - z)
+		dhLocal[i] = dh * z
+
+		dan := dn * (1 - n*n) // grad w.r.t. a_n = gi_n + r*q
+		dr := dan * q
+		dq := dan * r
+		dar := dr * r * (1 - r)
+		daz := dz * z * (1 - z)
+
+		dai[i], dai[h+i], dai[2*h+i] = dar, daz, dan
+		dah[i], dah[h+i], dah[2*h+i] = dar, daz, dq
+	}
+	c.Wih.GradMatrix().RankOneAdd(1, dai, cc.x)
+	c.Whh.GradMatrix().RankOneAdd(1, dah, cc.hPrev)
+	c.Bih.Grad.Add(dai)
+	c.Bhh.Grad.Add(dah)
+	if dx != nil {
+		c.Wih.Matrix().MulVecTAdd(dx, dai)
+	}
+	if dPrev != nil {
+		c.Whh.Matrix().MulVecTAdd(dPrev, dah)
+		dPrev.Add(dhLocal)
+	}
+}

@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LSTMCell is a long short-term memory unit following the PyTorch
+// nn.LSTMCell equations and weight layout (gate order i, f, g, o):
+//
+//	i  = σ(W_ii·x + b_ii + W_hi·h + b_hi)
+//	f  = σ(W_if·x + b_if + W_hf·h + b_hf)
+//	g  = tanh(W_ig·x + b_ig + W_hg·h + b_hg)
+//	o  = σ(W_io·x + b_io + W_ho·h + b_ho)
+//	c' = f ∘ c + i ∘ g
+//	h' = o ∘ tanh(c')
+//
+// The exported recurrent state is the concatenation [h; c], so the
+// externally visible hidden vector (what the predictor reads) is the first
+// HiddenSize components, matching the paper's ablation in §6.2.
+type LSTMCell struct {
+	in, hidden         int
+	Wih, Whh, Bih, Bhh *Param
+}
+
+// NewLSTMCell allocates an LSTM cell with uniform(-1/√hidden, 1/√hidden)
+// initialisation.
+func NewLSTMCell(inputSize, hiddenSize int, rng *tensor.RNG) *LSTMCell {
+	c := &LSTMCell{
+		in: inputSize, hidden: hiddenSize,
+		Wih: NewMatrixParam("lstm.Wih", 4*hiddenSize, inputSize),
+		Whh: NewMatrixParam("lstm.Whh", 4*hiddenSize, hiddenSize),
+		Bih: NewVectorParam("lstm.bih", 4*hiddenSize),
+		Bhh: NewVectorParam("lstm.bhh", 4*hiddenSize),
+	}
+	bound := 1 / math.Sqrt(float64(hiddenSize))
+	c.Params().InitUniform(rng, bound)
+	return c
+}
+
+// InputSize returns the per-step input length.
+func (c *LSTMCell) InputSize() int { return c.in }
+
+// HiddenSize returns the externally visible hidden vector length.
+func (c *LSTMCell) HiddenSize() int { return c.hidden }
+
+// StateSize is 2·HiddenSize: the state is [h; c].
+func (c *LSTMCell) StateSize() int { return 2 * c.hidden }
+
+// Params returns the cell's learnable parameters.
+func (c *LSTMCell) Params() Params { return Params{c.Wih, c.Whh, c.Bih, c.Bhh} }
+
+type lstmCache struct {
+	x, hPrev, cPrev tensor.Vector
+	i, f, g, o, tc  tensor.Vector // tc = tanh(c')
+}
+
+// Step advances the state [h; c] by one event.
+func (c *LSTMCell) Step(state, x tensor.Vector) (tensor.Vector, StepCache) {
+	h := c.hidden
+	hPrev := state[:h]
+	cPrev := state[h:]
+	gi := tensor.NewVector(4 * h)
+	gh := tensor.NewVector(4 * h)
+	c.Wih.Matrix().MulVec(gi, x)
+	gi.Add(c.Bih.Value)
+	c.Whh.Matrix().MulVec(gh, hPrev)
+	gh.Add(c.Bhh.Value)
+
+	cache := &lstmCache{
+		x: x.Clone(), hPrev: hPrev.Clone(), cPrev: cPrev.Clone(),
+		i: tensor.NewVector(h), f: tensor.NewVector(h),
+		g: tensor.NewVector(h), o: tensor.NewVector(h),
+		tc: tensor.NewVector(h),
+	}
+	next := tensor.NewVector(2 * h)
+	for j := 0; j < h; j++ {
+		ig := Sigmoid(gi[j] + gh[j])
+		fg := Sigmoid(gi[h+j] + gh[h+j])
+		gg := math.Tanh(gi[2*h+j] + gh[2*h+j])
+		og := Sigmoid(gi[3*h+j] + gh[3*h+j])
+		cNew := fg*cPrev[j] + ig*gg
+		tc := math.Tanh(cNew)
+		cache.i[j], cache.f[j], cache.g[j], cache.o[j], cache.tc[j] = ig, fg, gg, og, tc
+		next[j] = og * tc
+		next[h+j] = cNew
+	}
+	return next, cache
+}
+
+// Backward propagates dNext (gradient w.r.t. [h'; c']) through one step.
+func (c *LSTMCell) Backward(cache StepCache, dNext, dx, dPrev tensor.Vector) {
+	cc := cache.(*lstmCache)
+	h := c.hidden
+	da := tensor.NewVector(4 * h) // pre-activation grads shared by Wih/Whh rows
+	dcPrev := tensor.NewVector(h)
+	for j := 0; j < h; j++ {
+		ig, fg, gg, og, tc := cc.i[j], cc.f[j], cc.g[j], cc.o[j], cc.tc[j]
+		dh := dNext[j]
+		dc := dNext[h+j] + dh*og*(1-tc*tc)
+		do := dh * tc
+		di := dc * gg
+		df := dc * cc.cPrev[j]
+		dg := dc * ig
+		dcPrev[j] = dc * fg
+
+		da[j] = di * ig * (1 - ig)
+		da[h+j] = df * fg * (1 - fg)
+		da[2*h+j] = dg * (1 - gg*gg)
+		da[3*h+j] = do * og * (1 - og)
+	}
+	c.Wih.GradMatrix().RankOneAdd(1, da, cc.x)
+	c.Whh.GradMatrix().RankOneAdd(1, da, cc.hPrev)
+	c.Bih.Grad.Add(da)
+	c.Bhh.Grad.Add(da)
+	if dx != nil {
+		c.Wih.Matrix().MulVecTAdd(dx, da)
+	}
+	if dPrev != nil {
+		c.Whh.Matrix().MulVecTAdd(dPrev[:h], da)
+		dPrev[h:].Add(dcPrev)
+	}
+}

@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// TanhCell is the basic recurrent unit evaluated in §6.2:
+//
+//	h' = tanh(W_ih·x + b_ih + W_hh·h + b_hh)
+//
+// The paper reports its quality lagging behind GRU/LSTM, consistent with
+// Chung et al. (2014); it is included for the cell-architecture ablation.
+type TanhCell struct {
+	in, hidden         int
+	Wih, Whh, Bih, Bhh *Param
+}
+
+// NewTanhCell allocates a tanh recurrent cell with
+// uniform(-1/√hidden, 1/√hidden) initialisation.
+func NewTanhCell(inputSize, hiddenSize int, rng *tensor.RNG) *TanhCell {
+	c := &TanhCell{
+		in: inputSize, hidden: hiddenSize,
+		Wih: NewMatrixParam("tanh.Wih", hiddenSize, inputSize),
+		Whh: NewMatrixParam("tanh.Whh", hiddenSize, hiddenSize),
+		Bih: NewVectorParam("tanh.bih", hiddenSize),
+		Bhh: NewVectorParam("tanh.bhh", hiddenSize),
+	}
+	bound := 1 / math.Sqrt(float64(hiddenSize))
+	c.Params().InitUniform(rng, bound)
+	return c
+}
+
+// InputSize returns the per-step input length.
+func (c *TanhCell) InputSize() int { return c.in }
+
+// HiddenSize returns the hidden vector length.
+func (c *TanhCell) HiddenSize() int { return c.hidden }
+
+// StateSize equals HiddenSize for a tanh cell.
+func (c *TanhCell) StateSize() int { return c.hidden }
+
+// Params returns the cell's learnable parameters.
+func (c *TanhCell) Params() Params { return Params{c.Wih, c.Whh, c.Bih, c.Bhh} }
+
+type tanhCache struct {
+	x, hPrev, hNew tensor.Vector
+}
+
+// Step advances the hidden state by one event.
+func (c *TanhCell) Step(state, x tensor.Vector) (tensor.Vector, StepCache) {
+	a := tensor.NewVector(c.hidden)
+	c.Wih.Matrix().MulVec(a, x)
+	a.Add(c.Bih.Value)
+	c.Whh.Matrix().MulVecAdd(a, state)
+	a.Add(c.Bhh.Value)
+	for i, v := range a {
+		a[i] = math.Tanh(v)
+	}
+	return a, &tanhCache{x: x.Clone(), hPrev: state.Clone(), hNew: a.Clone()}
+}
+
+// Backward propagates dNext through one step.
+func (c *TanhCell) Backward(cache StepCache, dNext, dx, dPrev tensor.Vector) {
+	cc := cache.(*tanhCache)
+	da := tensor.NewVector(c.hidden)
+	for i, h := range cc.hNew {
+		da[i] = dNext[i] * (1 - h*h)
+	}
+	c.Wih.GradMatrix().RankOneAdd(1, da, cc.x)
+	c.Whh.GradMatrix().RankOneAdd(1, da, cc.hPrev)
+	c.Bih.Grad.Add(da)
+	c.Bhh.Grad.Add(da)
+	if dx != nil {
+		c.Wih.Matrix().MulVecTAdd(dx, da)
+	}
+	if dPrev != nil {
+		c.Whh.Matrix().MulVecTAdd(dPrev, da)
+	}
+}

@@ -1,0 +1,144 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// quadratic builds a single-parameter model with loss 0.5*(w - target)².
+func quadratic(n int, init float64) (nn.Params, func() float64, func()) {
+	p := nn.NewVectorParam("w", n)
+	p.Value.Fill(init)
+	target := 3.0
+	params := nn.Params{p}
+	loss := func() float64 {
+		var s float64
+		for _, w := range p.Value {
+			s += 0.5 * (w - target) * (w - target)
+		}
+		return s
+	}
+	backward := func() {
+		params.ZeroGrad()
+		for i, w := range p.Value {
+			p.Grad[i] = w - target
+		}
+	}
+	return params, loss, backward
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	params, loss, backward := quadratic(5, -10)
+	adam := NewAdam(params, 0.1)
+	for i := 0; i < 2000; i++ {
+		backward()
+		adam.Step()
+	}
+	if l := loss(); l > 1e-6 {
+		t.Fatalf("Adam failed to converge: loss %v", l)
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	params, loss, backward := quadratic(5, 10)
+	sgd := NewSGD(params, 0.5, 0, 0)
+	for i := 0; i < 200; i++ {
+		backward()
+		sgd.Step()
+	}
+	if l := loss(); l > 1e-9 {
+		t.Fatalf("SGD failed to converge: loss %v", l)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	params, loss, backward := quadratic(3, 10)
+	sgd := NewSGD(params, 0.05, 0.9, 0)
+	for i := 0; i < 500; i++ {
+		backward()
+		sgd.Step()
+	}
+	if l := loss(); l > 1e-6 {
+		t.Fatalf("SGD+momentum failed to converge: loss %v", l)
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := nn.NewVectorParam("w", 1)
+	p.Value[0] = 1
+	sgd := NewSGD(nn.Params{p}, 0.1, 0, 0.5)
+	// Zero loss gradient: only decay acts.
+	for i := 0; i < 10; i++ {
+		p.Grad[0] = 0
+		sgd.Step()
+	}
+	want := math.Pow(1-0.1*0.5, 10)
+	if math.Abs(p.Value[0]-want) > 1e-12 {
+		t.Fatalf("weight decay: got %v, want %v", p.Value[0], want)
+	}
+}
+
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	// With bias correction, the first Adam step is ≈ lr regardless of the
+	// gradient scale (for a constant gradient).
+	for _, g := range []float64{1e-4, 1, 1e4} {
+		p := nn.NewVectorParam("w", 1)
+		adam := NewAdam(nn.Params{p}, 0.001)
+		p.Grad[0] = g
+		adam.Step()
+		if math.Abs(math.Abs(p.Value[0])-0.001) > 1e-6 {
+			t.Fatalf("first Adam step with grad %v moved %v, want ≈lr", g, p.Value[0])
+		}
+	}
+}
+
+func TestAdamClipNorm(t *testing.T) {
+	p := nn.NewVectorParam("w", 4)
+	adam := NewAdam(nn.Params{p}, 0.001)
+	adam.ClipNorm = 1
+	p.Grad.Fill(100)
+	adam.Step()
+	if adam.LastGradNorm != 200 { // sqrt(4*100²)=200
+		t.Fatalf("LastGradNorm: got %v, want 200", adam.LastGradNorm)
+	}
+}
+
+func TestAdamDeterministic(t *testing.T) {
+	run := func() tensor.Vector {
+		params, _, backward := quadratic(3, -1)
+		adam := NewAdam(params, 0.01)
+		for i := 0; i < 50; i++ {
+			backward()
+			adam.Step()
+		}
+		return params.Flatten()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Adam must be deterministic")
+		}
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	p := nn.NewVectorParam("w", 1)
+	adam := NewAdam(nn.Params{p}, 0.001)
+	adam.SetLR(0)
+	p.Grad[0] = 1
+	adam.Step()
+	if p.Value[0] != 0 {
+		t.Fatalf("lr=0 must not move parameters")
+	}
+
+	sgd := NewSGD(nn.Params{p}, 1, 0, 0)
+	sgd.SetLR(0)
+	p.Grad[0] = 1
+	sgd.Step()
+	if p.Value[0] != 0 {
+		t.Fatalf("lr=0 must not move parameters (SGD)")
+	}
+}

@@ -1,0 +1,182 @@
+// Package serving simulates the production deployment of §9: a Redis-like
+// key-value store holding one hidden state per user, a Kafka-like stream
+// processor that joins session context and access events and runs the GRU
+// update after the session window closes, a prediction service invoked at
+// session startup, and a cost model that reproduces the paper's serving
+// cost comparison (≈20 aggregation lookups per prediction vs one 512-byte
+// hidden-state read; ≈9.5× model compute for the RNN; ≈10× net serving cost
+// reduction).
+package serving
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// KVStore is an in-memory key-value store with the access accounting the
+// cost comparison needs. It stands in for the "real-time data store similar
+// to Redis" of §9.
+type KVStore struct {
+	mu   sync.Mutex
+	data map[string][]byte
+
+	gets, puts, misses  int64
+	bytesRead, bytesPut int64
+}
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore {
+	return &KVStore{data: make(map[string][]byte)}
+}
+
+// Get returns the stored value (nil, false on miss). Every call is counted.
+func (s *KVStore) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	v, ok := s.data[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.bytesRead += int64(len(v))
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Put stores a copy of value under key.
+func (s *KVStore) Put(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	s.bytesPut += int64(len(value))
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.data[key] = v
+}
+
+// Delete removes a key.
+func (s *KVStore) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// Stats is a snapshot of the store's access counters.
+type Stats struct {
+	Keys        int
+	Gets        int64
+	Puts        int64
+	Misses      int64
+	BytesRead   int64
+	BytesPut    int64
+	BytesStored int64
+}
+
+// Stats returns the current counters and resident footprint.
+func (s *KVStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var stored int64
+	for k, v := range s.data {
+		stored += int64(len(k) + len(v))
+	}
+	return Stats{
+		Keys: len(s.data), Gets: s.gets, Puts: s.puts, Misses: s.misses,
+		BytesRead: s.bytesRead, BytesPut: s.bytesPut, BytesStored: stored,
+	}
+}
+
+// ---- Hidden-state codec ----
+//
+// Hidden states are stored as float32, matching the paper's 512-byte
+// footprint for a 128-dimensional vector, together with the timestamp of
+// the session that produced them (needed for T(t−t_k) at prediction time).
+
+// EncodeHidden serialises (hidden, lastTS) for storage.
+func EncodeHidden(h tensor.Vector, lastTS int64) []byte {
+	buf := make([]byte, 8+4*len(h))
+	binary.LittleEndian.PutUint64(buf, uint64(lastTS))
+	for i, v := range h {
+		binary.LittleEndian.PutUint32(buf[8+4*i:], math.Float32bits(float32(v)))
+	}
+	return buf
+}
+
+// DecodeHidden reverses EncodeHidden.
+func DecodeHidden(buf []byte) (h tensor.Vector, lastTS int64, ok bool) {
+	if len(buf) < 8 || (len(buf)-8)%4 != 0 {
+		return nil, 0, false
+	}
+	lastTS = int64(binary.LittleEndian.Uint64(buf))
+	n := (len(buf) - 8) / 4
+	h = tensor.NewVector(n)
+	for i := 0; i < n; i++ {
+		h[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[8+4*i:])))
+	}
+	return h, lastTS, true
+}
+
+// HiddenValueBytes returns the stored size of one hidden state of dimension
+// d (512 bytes of vector at d=128, plus the 8-byte timestamp).
+func HiddenValueBytes(d int) int { return 8 + 4*d }
+
+// ---- Quantized hidden-state codec (§9) ----
+//
+// The paper notes that neural-network quantization can store single bytes
+// instead of floats per dimension. GRU hidden values are convex
+// combinations of tanh outputs, so they live in (−1, 1) and a fixed-scale
+// int8 code loses at most 1/254 per dimension.
+
+// EncodeHiddenQuantized serialises (hidden, lastTS) at one byte per
+// dimension.
+func EncodeHiddenQuantized(h tensor.Vector, lastTS int64) []byte {
+	buf := make([]byte, 8+len(h))
+	binary.LittleEndian.PutUint64(buf, uint64(lastTS))
+	for i, v := range h {
+		buf[8+i] = byte(int8(quantClamp(v) * 127))
+	}
+	return buf
+}
+
+// DecodeHiddenQuantized reverses EncodeHiddenQuantized.
+func DecodeHiddenQuantized(buf []byte) (h tensor.Vector, lastTS int64, ok bool) {
+	if len(buf) < 8 {
+		return nil, 0, false
+	}
+	lastTS = int64(binary.LittleEndian.Uint64(buf))
+	h = tensor.NewVector(len(buf) - 8)
+	for i := range h {
+		h[i] = float64(int8(buf[8+i])) / 127
+	}
+	return h, lastTS, true
+}
+
+// QuantizedValueBytes returns the stored size of a quantized state of
+// dimension d (136 bytes at d=128 — the 4× shrink §9 describes).
+func QuantizedValueBytes(d int) int { return 8 + d }
+
+// QuantizeRoundTrip returns the hidden vector as the serving tier would see
+// it after an int8 store/load cycle. Use with
+// core.Model.EvaluateSessionsTransformed to measure the quality impact.
+func QuantizeRoundTrip(h tensor.Vector) tensor.Vector {
+	out := tensor.NewVector(len(h))
+	for i, v := range h {
+		out[i] = float64(int8(quantClamp(v)*127)) / 127
+	}
+	return out
+}
+
+func quantClamp(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}

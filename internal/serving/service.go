@@ -1,0 +1,60 @@
+package serving
+
+import (
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// PredictionService is the session-startup path of §9: retrieve the most
+// recent hidden state (one KV lookup), run the MLP part of the model with
+// the current context, and precompute eagerly when the probability clears
+// the threshold.
+type PredictionService struct {
+	model *core.Model
+	store *KVStore
+	// Threshold is the precompute decision boundary, chosen offline to
+	// target a precision (60% in the production experiment).
+	Threshold float64
+
+	// Decision counters for the precision/recall bookkeeping.
+	Predictions int64
+	Precomputes int64
+}
+
+// NewPredictionService wires a model and store.
+func NewPredictionService(model *core.Model, store *KVStore, threshold float64) *PredictionService {
+	return &PredictionService{model: model, store: store, Threshold: threshold}
+}
+
+// Decision is the outcome of one session-startup prediction.
+type Decision struct {
+	Probability float64
+	Precompute  bool
+}
+
+// OnSessionStart serves one prediction. Users with no stored hidden state
+// fall back to h_0 (cold start, §9).
+func (s *PredictionService) OnSessionStart(userID int, ts int64, cat []int) Decision {
+	var h tensor.Vector
+	var lastTS int64
+	if raw, ok := s.store.Get(hiddenKey(userID)); ok {
+		if dec, t, ok2 := DecodeHidden(raw); ok2 && len(dec) == s.model.StateSize() {
+			h, lastTS = dec, t
+		}
+	}
+	if h == nil {
+		h = s.model.InitialState()
+	}
+	var sinceK int64
+	if lastTS != 0 {
+		sinceK = ts - lastTS
+	}
+	f := s.model.BuildPredictInput(ts, cat, sinceK, nil)
+	p := s.model.Predict(h[:s.model.HiddenDim()], f)
+	s.Predictions++
+	d := Decision{Probability: p, Precompute: p >= s.Threshold}
+	if d.Precompute {
+		s.Precomputes++
+	}
+	return d
+}

@@ -1,0 +1,153 @@
+package serving
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// The stream processor reproduces §9's update pipeline: context variables
+// are published at session start, access events arrive during the session,
+// both tagged by session ID; a timer fires after the session length (+
+// processing lag ε), at which point the processor joins the buffered
+// events, retrieves the user's hidden state, executes the GRU part of the
+// model and writes the new hidden state back.
+
+// sessionBuffer accumulates the events of one in-flight session.
+type sessionBuffer struct {
+	userID   int
+	start    int64
+	cat      []int
+	accessed bool
+}
+
+// timerEntry schedules a session finalisation.
+type timerEntry struct {
+	fireAt    int64
+	sessionID string
+}
+
+type timerHeap []timerEntry
+
+func (h timerHeap) Len() int            { return len(h) }
+func (h timerHeap) Less(i, j int) bool  { return h[i].fireAt < h[j].fireAt }
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerEntry)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// StreamProcessor consumes session-start and access events (the Kafka
+// analogue) and maintains per-user hidden states in the KV store.
+type StreamProcessor struct {
+	model *core.Model
+	store *KVStore
+	// Epsilon is the processing lag ε added to the session length before
+	// the finalisation timer fires.
+	Epsilon int64
+
+	buffers map[string]*sessionBuffer
+	timers  timerHeap
+	now     int64
+
+	// UpdatesRun counts GRU executions (the paper's most expensive model
+	// component runs once per session, off the critical path).
+	UpdatesRun int64
+}
+
+// NewStreamProcessor wires a model and store.
+func NewStreamProcessor(model *core.Model, store *KVStore) *StreamProcessor {
+	return &StreamProcessor{
+		model:   model,
+		store:   store,
+		Epsilon: core.DefaultEpsilon,
+		buffers: make(map[string]*sessionBuffer),
+	}
+}
+
+// hiddenKey is the per-user KV key.
+func hiddenKey(userID int) string { return fmt.Sprintf("h:%d", userID) }
+
+// Advance moves the virtual clock to ts, firing any due timers in order.
+func (p *StreamProcessor) Advance(ts int64) {
+	for len(p.timers) > 0 && p.timers[0].fireAt <= ts {
+		e := heap.Pop(&p.timers).(timerEntry)
+		p.now = e.fireAt
+		p.finalize(e.sessionID)
+	}
+	if ts > p.now {
+		p.now = ts
+	}
+}
+
+// OnSessionStart records the context of a new session and arms its
+// finalisation timer.
+func (p *StreamProcessor) OnSessionStart(sessionID string, userID int, ts int64, cat []int) {
+	p.Advance(ts)
+	p.buffers[sessionID] = &sessionBuffer{
+		userID: userID,
+		start:  ts,
+		cat:    append([]int(nil), cat...),
+	}
+	heap.Push(&p.timers, timerEntry{
+		fireAt:    ts + p.model.Schema.SessionLength + p.Epsilon,
+		sessionID: sessionID,
+	})
+}
+
+// OnAccess records an access event for an in-flight session. Events for
+// unknown or already-finalised sessions are dropped (matching at-most-once
+// buffering semantics).
+func (p *StreamProcessor) OnAccess(sessionID string, ts int64) {
+	p.Advance(ts)
+	if buf, ok := p.buffers[sessionID]; ok {
+		buf.accessed = true
+	}
+}
+
+// finalize joins the session's events and runs the hidden update.
+func (p *StreamProcessor) finalize(sessionID string) {
+	buf, ok := p.buffers[sessionID]
+	if !ok {
+		return
+	}
+	delete(p.buffers, sessionID)
+
+	var h tensor.Vector
+	var lastTS int64
+	if raw, found := p.store.Get(hiddenKey(buf.userID)); found {
+		if dec, ts, ok := DecodeHidden(raw); ok && len(dec) == p.model.StateSize() {
+			h, lastTS = dec, ts
+		}
+	}
+	if h == nil {
+		h = p.model.InitialState()
+	}
+	var dt int64
+	if lastTS != 0 {
+		dt = buf.start - lastTS
+	}
+	in := p.model.BuildUpdateInput(buf.start, buf.cat, buf.accessed, dt, nil)
+	next := p.model.UpdateState(h, in)
+	p.UpdatesRun++
+	p.store.Put(hiddenKey(buf.userID), EncodeHidden(next, buf.start))
+}
+
+// Flush fires all outstanding timers regardless of the clock (end of
+// replay).
+func (p *StreamProcessor) Flush() {
+	for len(p.timers) > 0 {
+		e := heap.Pop(&p.timers).(timerEntry)
+		p.now = e.fireAt
+		p.finalize(e.sessionID)
+	}
+}
+
+// Pending returns the number of in-flight sessions.
+func (p *StreamProcessor) Pending() int { return len(p.buffers) }

@@ -1,0 +1,203 @@
+// Package synth generates the three evaluation datasets of the paper (§4)
+// synthetically. The originals are Facebook production logs (MobileTab,
+// Timeshift) and the Mobile Phone Use dataset of Pielot et al.; none is
+// available here, so each generator reproduces the *statistical mechanisms*
+// the paper attributes to its dataset:
+//
+//   - Sessions arrive with a per-user diurnal rhythm and power-law
+//     inter-arrival gaps (§6.1 notes Δt is power-law distributed).
+//   - A large fraction of users never access the activity at all
+//     (Figure 1: 36% for MobileTab, 42% for Timeshift).
+//   - Access behaviour depends on (a) a per-user latent engagement state
+//     that evolves as a Markov chain and decays over long gaps — the
+//     history signal an RNN hidden state can track but fixed aggregations
+//     summarise only coarsely; (b) session context such as the unread badge
+//     count and active tab (MobileTab) or notification app and screen state
+//     (MPU); and (c) time-of-day/day-of-week rhythm.
+//
+// Every generator is deterministic given its config seed: users are
+// generated from forked, order-independent RNG streams.
+package synth
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+// DefaultStart is the default observation-window start (2019-08-01 07:00
+// UTC, the era of the paper's logs). Chosen so day boundaries don't align
+// with midnight UTC for any "round" reason; nothing depends on it.
+const DefaultStart int64 = 1564642800
+
+// hashMod97 maps a raw identifier to the paper's hashed categorical range
+// (§5.2: hash and take the remainder modulo 97).
+func hashMod97(raw int) int {
+	h := uint64(raw) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return int(h % 97)
+}
+
+// userProfile holds the latent per-user parameters shared by the
+// generators.
+type userProfile struct {
+	// neverAccess marks users with zero accesses over the window.
+	neverAccess bool
+	// bias is the user's base access logit.
+	bias float64
+	// dailyRate is the expected number of sessions per day.
+	dailyRate float64
+	// peakHour1/peakHour2 are the centres of the user's two diurnal usage
+	// bumps; width is their spread in hours.
+	peakHour1, peakHour2 float64
+	width                float64
+	// hourAffinity is the hour (0-23) at which the user is most likely to
+	// access the activity, independent of when they use the app.
+	hourAffinity float64
+	// engageDecayHours is the engagement half-life: long gaps between
+	// sessions decay the latent engaged state.
+	engageDecayHours float64
+	// pEngage is the per-session probability of (re-)entering the engaged
+	// state when idle.
+	pEngage float64
+	// engagedBoost is the logit boost while engaged.
+	engagedBoost float64
+}
+
+func sampleProfile(rng *tensor.RNG, neverFrac float64) userProfile {
+	return userProfile{
+		neverAccess:      rng.Bernoulli(neverFrac),
+		bias:             -3.7 + 0.9*rng.NormFloat64(),
+		dailyRate:        rng.LogNormal(0.6, 0.7), // median ≈ 1.8 sessions/day, long tail
+		peakHour1:        24 * rng.Float64(),
+		peakHour2:        24 * rng.Float64(),
+		width:            1.5 + 2*rng.Float64(),
+		hourAffinity:     24 * rng.Float64(),
+		engageDecayHours: 12 + 60*rng.Float64(),
+		pEngage:          0.04 + 0.08*rng.Float64(),
+		engagedBoost:     1.6 + 0.6*rng.NormFloat64(),
+	}
+}
+
+// hourOfDay returns the UTC hour (with fraction) of ts.
+func hourOfDay(ts int64) float64 {
+	return float64(ts%dataset.Day) / 3600.0
+}
+
+// dayOfWeek returns 0..6 for ts (day 0 of the epoch is a Thursday; the
+// exact phase is irrelevant, only the 7-day period matters).
+func dayOfWeek(ts int64) int {
+	return int((ts / dataset.Day) % 7)
+}
+
+// circularHourDist returns the circular distance in hours between a and b.
+func circularHourDist(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 12 {
+		d = 24 - d
+	}
+	return d
+}
+
+// sampleSessionTimes draws session start timestamps for one user across the
+// observation window. Counts per day are Poisson around the user's daily
+// rate (weekends scaled), and times within a day follow the user's
+// two-bump diurnal rhythm. A Pareto jitter is added so inter-arrival gaps
+// are power-law distributed, matching §6.1.
+func sampleSessionTimes(rng *tensor.RNG, p userProfile, start int64, days int) []int64 {
+	var times []int64
+	end := start + int64(days)*dataset.Day
+	// Anchor days at UTC midnight so sampled hours agree with HourOfDay
+	// (the observation window may begin mid-day).
+	anchor := start - start%dataset.Day
+	for day := 0; day <= days; day++ {
+		dayStart := anchor + int64(day)*dataset.Day
+		rate := p.dailyRate
+		if dow := dayOfWeek(dayStart); dow == 5 || dow == 6 {
+			rate *= 1.25 // weekend bump
+		}
+		n := rng.Poisson(rate)
+		for i := 0; i < n; i++ {
+			// Pick one of the two diurnal bumps, sample an hour around it.
+			centre := p.peakHour1
+			if rng.Bernoulli(0.4) {
+				centre = p.peakHour2
+			}
+			h := centre + p.width*rng.NormFloat64()
+			h = math.Mod(math.Mod(h, 24)+24, 24)
+			// Power-law jitter in seconds keeps sub-hour gaps heavy-tailed.
+			jitter := rng.Pareto(1, 1.2)
+			if jitter > 1800 {
+				jitter = 1800
+			}
+			ts := dayStart + int64(h*3600) + int64(jitter)
+			if ts < start || ts >= end {
+				continue
+			}
+			times = append(times, ts)
+		}
+	}
+	sortInt64(times)
+	// Enforce strictly increasing timestamps with a minimum 30 s gap so a
+	// "session" is a distinct app start.
+	out := times[:0]
+	var prev int64 = math.MinInt64 / 2
+	for _, ts := range times {
+		if ts < prev+30 {
+			ts = prev + 30
+		}
+		if ts >= start+int64(days)*dataset.Day {
+			break
+		}
+		out = append(out, ts)
+		prev = ts
+	}
+	return out
+}
+
+func sortInt64(a []int64) {
+	// Insertion-free: use sort via interface-free shell sort to avoid an
+	// import cycle on sort for a hot path. Gaps from Ciura's sequence.
+	gaps := []int{701, 301, 132, 57, 23, 10, 4, 1}
+	for _, gap := range gaps {
+		for i := gap; i < len(a); i++ {
+			tmp := a[i]
+			j := i
+			for ; j >= gap && a[j-gap] > tmp; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = tmp
+		}
+	}
+}
+
+// engagement tracks the latent engaged/idle Markov state across sessions,
+// with gap-dependent decay: the longer the user has been away, the more
+// likely the engaged state has lapsed.
+type engagement struct {
+	engaged bool
+	lastTS  int64
+}
+
+func (e *engagement) step(rng *tensor.RNG, p userProfile, ts int64) bool {
+	if e.lastTS != 0 {
+		gapHours := float64(ts-e.lastTS) / 3600
+		if e.engaged {
+			pStay := math.Exp(-gapHours / p.engageDecayHours)
+			// Even back-to-back sessions lapse occasionally.
+			pStay *= 0.97
+			if !rng.Bernoulli(pStay) {
+				e.engaged = false
+			}
+		}
+	}
+	if !e.engaged && rng.Bernoulli(p.pEngage) {
+		e.engaged = true
+	}
+	e.lastTS = ts
+	return e.engaged
+}
+
+// logistic is the generator's label link function.
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

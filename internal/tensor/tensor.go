@@ -1,0 +1,391 @@
+// Package tensor provides the dense linear-algebra primitives used by the
+// neural-network stack in this repository. It implements just enough of a
+// BLAS-like surface (vector ops, matrix-vector and matrix-matrix products,
+// rank-1 updates) for hand-written forward and backward passes, using only
+// the standard library.
+//
+// All values are float64. Matrices are dense and row-major. The package is
+// deliberately allocation-transparent: every routine that produces a result
+// has an "into destination" form so hot loops can reuse buffers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element of v to 0.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Add accumulates other into v element-wise. Panics if lengths differ.
+func (v Vector) Add(other Vector) {
+	checkLen("Vector.Add", len(v), len(other))
+	for i, x := range other {
+		v[i] += x
+	}
+}
+
+// Sub subtracts other from v element-wise.
+func (v Vector) Sub(other Vector) {
+	checkLen("Vector.Sub", len(v), len(other))
+	for i, x := range other {
+		v[i] -= x
+	}
+}
+
+// Scale multiplies every element of v by a.
+func (v Vector) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// AXPY computes v += a*x.
+func (v Vector) AXPY(a float64, x Vector) {
+	checkLen("Vector.AXPY", len(v), len(x))
+	for i, xi := range x {
+		v[i] += a * xi
+	}
+}
+
+// MulElem multiplies v element-wise by other.
+func (v Vector) MulElem(other Vector) {
+	checkLen("Vector.MulElem", len(v), len(other))
+	for i, x := range other {
+		v[i] *= x
+	}
+}
+
+// Dot returns the inner product of v and other.
+func (v Vector) Dot(other Vector) float64 {
+	checkLen("Vector.Dot", len(v), len(other))
+	var s float64
+	for i, x := range other {
+		s += v[i] * x
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of the elements of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Max returns the maximum element of v; -Inf for an empty vector.
+func (v Vector) Max() float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum element, or -1 for empty v.
+func (v Vector) ArgMax() int {
+	idx, m := -1, math.Inf(-1)
+	for i, x := range v {
+		if x > m {
+			m, idx = x, i
+		}
+	}
+	return idx
+}
+
+// Concat returns the concatenation of the given vectors as a new vector.
+func Concat(vs ...Vector) Vector {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make(Vector, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewMatrix(%d, %d): negative dimension", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all share one length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		checkLen("tensor.FromRows", cols, len(r))
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a mutable slice view.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element of m to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Scale multiplies every element of m by a.
+func (m *Matrix) Scale(a float64) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// Add accumulates other into m. Panics if shapes differ.
+func (m *Matrix) Add(other *Matrix) {
+	m.checkShape("Matrix.Add", other)
+	for i, x := range other.Data {
+		m.Data[i] += x
+	}
+}
+
+// AXPY computes m += a*x.
+func (m *Matrix) AXPY(a float64, x *Matrix) {
+	m.checkShape("Matrix.AXPY", x)
+	for i, xi := range x.Data {
+		m.Data[i] += a * xi
+	}
+}
+
+// sparseCutoff gates the sparse fast paths: for vectors at least this long
+// whose nonzero fraction is below 1/4, gathering the nonzero indices first
+// is cheaper than streaming the zeros. The neural models in this repository
+// feed mostly one-hot inputs (a handful of ones in a ~300-dim vector), so
+// this path dominates training cost.
+const sparseCutoff = 64
+
+// gatherNonzeros returns the indices of x's nonzero entries, or nil when a
+// dense pass is preferable.
+func gatherNonzeros(x Vector) []int32 {
+	if len(x) < sparseCutoff {
+		return nil
+	}
+	nz := 0
+	for _, v := range x {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz*4 >= len(x) {
+		return nil
+	}
+	idx := make([]int32, 0, nz)
+	for j, v := range x {
+		if v != 0 {
+			idx = append(idx, int32(j))
+		}
+	}
+	return idx
+}
+
+// MulVec computes dst = m · x where x has length Cols and dst length Rows.
+// dst is overwritten. It must not alias x.
+func (m *Matrix) MulVec(dst, x Vector) {
+	checkLen("Matrix.MulVec x", m.Cols, len(x))
+	checkLen("Matrix.MulVec dst", m.Rows, len(dst))
+	if idx := gatherNonzeros(x); idx != nil {
+		for i := 0; i < m.Rows; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			var s float64
+			for _, j := range idx {
+				s += row[j] * x[j]
+			}
+			dst[i] = s
+		}
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecAdd computes dst += m · x.
+func (m *Matrix) MulVecAdd(dst, x Vector) {
+	checkLen("Matrix.MulVecAdd x", m.Cols, len(x))
+	checkLen("Matrix.MulVecAdd dst", m.Rows, len(dst))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] += s
+	}
+}
+
+// MulVecT computes dst = mᵀ · x where x has length Rows and dst length Cols.
+// dst is overwritten. It must not alias x.
+func (m *Matrix) MulVecT(dst, x Vector) {
+	checkLen("Matrix.MulVecT x", m.Rows, len(x))
+	checkLen("Matrix.MulVecT dst", m.Cols, len(dst))
+	for j := range dst {
+		dst[j] = 0
+	}
+	m.MulVecTAdd(dst, x)
+}
+
+// MulVecTAdd computes dst += mᵀ · x.
+func (m *Matrix) MulVecTAdd(dst, x Vector) {
+	checkLen("Matrix.MulVecTAdd x", m.Rows, len(x))
+	checkLen("Matrix.MulVecTAdd dst", m.Cols, len(dst))
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += xi * w
+		}
+	}
+}
+
+// RankOneAdd computes m += a · u·vᵀ (outer-product accumulate), with u of
+// length Rows and v of length Cols. Used for weight-gradient accumulation,
+// where v is frequently a mostly-one-hot input vector.
+func (m *Matrix) RankOneAdd(a float64, u, v Vector) {
+	checkLen("Matrix.RankOneAdd u", m.Rows, len(u))
+	checkLen("Matrix.RankOneAdd v", m.Cols, len(v))
+	if idx := gatherNonzeros(v); idx != nil {
+		for i := 0; i < m.Rows; i++ {
+			s := a * u[i]
+			if s == 0 {
+				continue
+			}
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for _, j := range idx {
+				row[j] += s * v[j]
+			}
+		}
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := a * u[i]
+		if s == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, vj := range v {
+			row[j] += s * vj
+		}
+	}
+}
+
+// MatMul computes dst = m · other. dst must be Rows×other.Cols and is
+// overwritten; it must not alias m or other.
+func (m *Matrix) MatMul(dst, other *Matrix) {
+	checkLen("Matrix.MatMul inner", m.Cols, other.Rows)
+	checkLen("Matrix.MatMul rows", dst.Rows, m.Rows)
+	checkLen("Matrix.MatMul cols", dst.Cols, other.Cols)
+	dst.Zero()
+	for i := 0; i < m.Rows; i++ {
+		mRow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		dRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, mik := range mRow {
+			if mik == 0 {
+				continue
+			}
+			oRow := other.Data[k*other.Cols : (k+1)*other.Cols]
+			for j, okj := range oRow {
+				dRow[j] += mik * okj
+			}
+		}
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, x := range m.Data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func (m *Matrix) checkShape(op string, other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: %s: shape mismatch %dx%d vs %dx%d",
+			op, m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+}
+
+func checkLen(op string, want, got int) {
+	if want != got {
+		panic(fmt.Sprintf("tensor: %s: length mismatch: want %d, got %d", op, want, got))
+	}
+}
