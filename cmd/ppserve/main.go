@@ -4,15 +4,21 @@
 // finalisation + GRU update), and reports precision/recall of the
 // precompute policy together with the KV-store traffic.
 //
+// With -workers > 1 the replay runs through the concurrent serving path:
+// a sharded KV store, a worker-pool stream processor (per-user lanes keep
+// update order), and batched fan-out predictions sized by -batch.
+//
 // Usage:
 //
 //	ppserve -users 500 -threshold 0.5
+//	ppserve -users 500 -workers 8 -batch 64
 package main
 
 import (
 	"flag"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -28,6 +34,9 @@ func main() {
 		hidden    = flag.Int("hidden", 32, "hidden dimensionality")
 		threshold = flag.Float64("threshold", 0, "precompute threshold (0 = derive from 60% precision target)")
 		seed      = flag.Uint64("seed", 1, "seed")
+		workers   = flag.Int("workers", 1, "serving concurrency (1 = sequential compatibility path)")
+		batch     = flag.Int("batch", 1, "prediction micro-batch size when workers > 1 (1 = lock-step parity with the sequential path; use >1, e.g. 64, for throughput)")
+		shards    = flag.Int("shards", serving.DefaultShards, "KV store shard count (used when workers > 1)")
 	)
 	flag.Parse()
 
@@ -61,10 +70,6 @@ func main() {
 		fmt.Printf("threshold %.4f targets 60%% precision (training recall %.1f%%)\n", thr, 100*recall)
 	}
 
-	store := serving.NewKVStore()
-	proc := serving.NewStreamProcessor(model, store)
-	svc := serving.NewPredictionService(model, store, thr)
-
 	// Replay the held-out cohort in global timestamp order, exactly as
 	// production traffic would interleave users.
 	type event struct {
@@ -87,28 +92,100 @@ func main() {
 	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i].ts < evs[j].ts })
 
+	// Pick the serving stack: sequential compatibility path at workers=1,
+	// sharded store + worker-pool processor above that.
+	var (
+		store       serving.Store
+		advance     func(ts int64)
+		onSession   func(sid string, user int, ts int64, cat []int)
+		onAccess    func(sid string, ts int64)
+		flush       func()
+		updatesRun  func() int64
+		pendingLeft func() int
+	)
+	bsz := *batch
+	if bsz < 1 || *workers <= 1 {
+		bsz = 1
+	}
+	if *workers > 1 {
+		sh := serving.NewShardedKVStore(*shards)
+		proc := serving.NewParallelStreamProcessor(model, sh, *workers)
+		store = sh
+		// Advance+Sync preserves the sequential path's read-your-writes
+		// semantics at every prediction point.
+		advance = func(ts int64) { proc.Advance(ts); proc.Sync() }
+		onSession = proc.OnSessionStart
+		onAccess = proc.OnAccess
+		flush = proc.Close
+		updatesRun = proc.UpdatesRun
+		pendingLeft = proc.Pending
+		fmt.Printf("serving stack: %d-shard KV store, %d worker lanes, batch %d\n",
+			sh.NumShards(), proc.Workers(), bsz)
+	} else {
+		kv := serving.NewKVStore()
+		proc := serving.NewStreamProcessor(model, kv)
+		store = kv
+		advance = proc.Advance
+		onSession = proc.OnSessionStart
+		onAccess = proc.OnAccess
+		flush = proc.Flush
+		updatesRun = func() int64 { return proc.UpdatesRun }
+		pendingLeft = proc.Pending
+		fmt.Println("serving stack: sequential (single-mutex store, in-line updates)")
+	}
+	svc := serving.NewPredictionService(model, store, thr)
+
+	// Scoring runs on the replay goroutine only (batches are scored after
+	// OnSessionStartBatch returns), so plain counters suffice.
 	var tp, fp, fn, tn int
-	for _, e := range evs {
-		proc.Advance(e.ts)
-		dec := svc.OnSessionStart(e.user, e.ts, e.cat)
+	score := func(dec serving.Decision, access bool) {
 		switch {
-		case dec.Precompute && e.access:
+		case dec.Precompute && access:
 			tp++
-		case dec.Precompute && !e.access:
+		case dec.Precompute && !access:
 			fp++
-		case !dec.Precompute && e.access:
+		case !dec.Precompute && access:
 			fn++
 		default:
 			tn++
 		}
-		proc.OnSessionStart(e.sid, e.user, e.ts, e.cat)
-		if e.access {
-			proc.OnAccess(e.sid, e.ts+30)
+	}
+
+	t0 := time.Now()
+	for lo := 0; lo < len(evs); lo += bsz {
+		hi := lo + bsz
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		group := evs[lo:hi]
+		// All predictions in a micro-batch observe the store as of the
+		// group's first timestamp (the state a real batched tier would
+		// serve from), then the group's stream events are ingested.
+		advance(group[0].ts)
+		if bsz == 1 {
+			score(svc.OnSessionStart(group[0].user, group[0].ts, group[0].cat), group[0].access)
+		} else {
+			reqs := make([]serving.PredictRequest, len(group))
+			for i, e := range group {
+				reqs[i] = serving.PredictRequest{UserID: e.user, Ts: e.ts, Cat: e.cat}
+			}
+			for i, dec := range svc.OnSessionStartBatch(reqs, *workers) {
+				score(dec, group[i].access)
+			}
+		}
+		for _, e := range group {
+			onSession(e.sid, e.user, e.ts, e.cat)
+			if e.access {
+				onAccess(e.sid, e.ts+30)
+			}
 		}
 	}
-	proc.Flush()
+	flush()
+	elapsed := time.Since(t0)
 
-	fmt.Printf("\nreplayed %d sessions for %d users\n", len(evs), len(split.Test.Users))
+	fmt.Printf("\nreplayed %d sessions for %d users in %s (%.0f sessions/s)\n",
+		len(evs), len(split.Test.Users), elapsed.Round(time.Millisecond),
+		float64(len(evs))/elapsed.Seconds())
 	precision := 0.0
 	if tp+fp > 0 {
 		precision = float64(tp) / float64(tp+fp)
@@ -125,9 +202,9 @@ func main() {
 	fmt.Printf("\nKV store: %d keys, %d gets (%d misses), %d puts\n", st.Keys, st.Gets, st.Misses, st.Puts)
 	fmt.Printf("bytes: %d stored (%d per user), %d read, %d written\n",
 		st.BytesStored, st.BytesStored/int64(maxInt(st.Keys, 1)), st.BytesRead, st.BytesPut)
-	fmt.Printf("stream processor: %d hidden updates, %d sessions pending\n", proc.UpdatesRun, proc.Pending())
+	fmt.Printf("stream processor: %d hidden updates, %d sessions pending\n", updatesRun(), pendingLeft())
 	fmt.Printf("lookups per prediction: %.2f (the aggregation-based design needs ≈20, §9)\n",
-		float64(st.Gets)/float64(svc.Predictions))
+		float64(st.Gets)/float64(svc.Predictions.Load()))
 }
 
 func maxInt(a, b int) int {

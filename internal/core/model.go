@@ -230,6 +230,29 @@ func (m *Model) UpdateState(state, updateInput tensor.Vector) tensor.Vector {
 	return next
 }
 
+// UpdateScratchSize returns the scratch length UpdateStateInto needs (0
+// when the cell has no allocation-free inference step).
+func (m *Model) UpdateScratchSize() int {
+	if ic, ok := m.cell.(nn.InferenceCell); ok {
+		return ic.ScratchSize()
+	}
+	return 0
+}
+
+// UpdateStateInto is the allocation-lean UpdateState for the serving hot
+// path: it writes the next state into dst (length StateSize) using scratch
+// (length UpdateScratchSize), producing bit-identical states to
+// UpdateState. Cells without an inference step fall back to Step, losing
+// only the allocation savings. dst must not alias state or updateInput.
+func (m *Model) UpdateStateInto(dst, state, updateInput, scratch tensor.Vector) {
+	if ic, ok := m.cell.(nn.InferenceCell); ok {
+		ic.StepInfer(dst, state, updateInput, scratch)
+		return
+	}
+	next, _ := m.cell.Step(state, updateInput)
+	copy(dst, next)
+}
+
 // predCache holds the intermediates of one training-time prediction for
 // backprop.
 type predCache struct {

@@ -125,6 +125,7 @@ func (l *Lab) All() []*Report {
 		l.Figure7(),
 		l.OnlineRecall(),
 		l.ServingCost(),
+		l.Parallelism(),
 		l.Batching(),
 		l.Cells(),
 		l.LatentCross(),
@@ -152,6 +153,7 @@ func (l *Lab) ByID(id string) *Report {
 		"figure7":       l.Figure7,
 		"online-recall": l.OnlineRecall,
 		"serving":       l.ServingCost,
+		"parallel":      l.Parallelism,
 		"batching":      l.Batching,
 		"cells":         l.Cells,
 		"latentcross":   l.LatentCross,
@@ -173,7 +175,7 @@ func IDs() []string {
 	return []string{
 		"table1", "table2", "figure1", "table3", "table4", "table5",
 		"figure4", "figure5", "figure6", "figure7", "online-recall",
-		"serving", "batching", "cells", "latentcross", "hiddendim", "losswindow",
+		"serving", "parallel", "batching", "cells", "latentcross", "hiddendim", "losswindow",
 		"stacked", "universal", "retrain", "quantization",
 	}
 }

@@ -77,7 +77,7 @@ func NewLab(s Scale) *Lab {
 	return &Lab{Scale: s, datasets: map[string]*dataset.Dataset{}, sets: map[string]*ModelSet{}}
 }
 
-func (l *Lab) logf(format string, args ...interface{}) {
+func (l *Lab) logf(format string, args ...any) {
 	if l.Verbose {
 		fmt.Printf("[lab] "+format+"\n", args...)
 	}

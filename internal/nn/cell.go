@@ -32,7 +32,19 @@ type Cell interface {
 }
 
 // StepCache holds per-step intermediates for backpropagation through time.
-type StepCache interface{}
+type StepCache any
+
+// InferenceCell is implemented by cells that can advance the state without
+// recording a backprop cache — the serving hot path, where per-update
+// allocations turn into GC pressure that caps multi-core throughput.
+type InferenceCell interface {
+	// StepInfer writes the next state into dst (length StateSize) using
+	// scratch (length ScratchSize) for intermediates. It must produce
+	// bit-identical states to Step. dst must not alias state or x.
+	StepInfer(dst, state, x, scratch tensor.Vector)
+	// ScratchSize is the required scratch length for StepInfer.
+	ScratchSize() int
+}
 
 // CellKind names a recurrent cell architecture.
 type CellKind string

@@ -82,6 +82,30 @@ func (c *GRUCell) Step(state, x tensor.Vector) (tensor.Vector, StepCache) {
 	return next, cache
 }
 
+// ScratchSize returns the StepInfer scratch requirement (the two gate
+// pre-activation vectors).
+func (c *GRUCell) ScratchSize() int { return 6 * c.hidden }
+
+// StepInfer advances the hidden state without recording a backprop cache,
+// writing into dst. The gate math mirrors Step exactly, so the states are
+// bit-identical; the only difference is that nothing is allocated.
+func (c *GRUCell) StepInfer(dst, state, x, scratch tensor.Vector) {
+	h := c.hidden
+	gi := scratch[:3*h]
+	gh := scratch[3*h : 6*h]
+	c.Wih.Matrix().MulVec(gi, x)
+	gi.Add(c.Bih.Value)
+	c.Whh.Matrix().MulVec(gh, state)
+	gh.Add(c.Bhh.Value)
+	for i := 0; i < h; i++ {
+		r := Sigmoid(gi[i] + gh[i])
+		z := Sigmoid(gi[h+i] + gh[h+i])
+		q := gh[2*h+i]
+		n := math.Tanh(gi[2*h+i] + r*q)
+		dst[i] = (1-z)*n + z*state[i]
+	}
+}
+
 // Backward propagates dNext through one GRU step.
 func (c *GRUCell) Backward(cache StepCache, dNext, dx, dPrev tensor.Vector) {
 	cc := cache.(*gruCache)

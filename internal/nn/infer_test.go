@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestGRUStepInferMatchesStep requires the allocation-free inference step
+// to produce bit-identical states to Step across many random (state, x)
+// pairs — the serving tier's scratch path must not drift from training.
+func TestGRUStepInferMatchesStep(t *testing.T) {
+	rng := tensor.NewRNG(42)
+	c := NewGRUCell(13, 24, rng)
+	if c.ScratchSize() != 6*24 {
+		t.Fatalf("ScratchSize: %d", c.ScratchSize())
+	}
+	scratch := tensor.NewVector(c.ScratchSize())
+	state := tensor.NewVector(c.StateSize())
+	x := tensor.NewVector(c.InputSize())
+	dst := tensor.NewVector(c.StateSize())
+	for trial := 0; trial < 50; trial++ {
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// Dirty the scratch to prove StepInfer fully overwrites it.
+		for i := range scratch {
+			scratch[i] = 1e9
+		}
+		next, _ := c.Step(state, x)
+		c.StepInfer(dst, state, x, scratch)
+		for i := range next {
+			if dst[i] != next[i] {
+				t.Fatalf("trial %d dim %d: StepInfer %v vs Step %v", trial, i, dst[i], next[i])
+			}
+		}
+		copy(state, next) // chain states so trials cover realistic magnitudes
+	}
+}
+
+// TestInferenceCellFallback documents which cells have the fast path.
+func TestInferenceCellFallback(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	if _, ok := Cell(NewGRUCell(4, 4, rng)).(InferenceCell); !ok {
+		t.Fatalf("GRU must implement InferenceCell")
+	}
+}

@@ -1,0 +1,284 @@
+package serving
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestShardedKVStoreBasics(t *testing.T) {
+	s := NewShardedKVStore(16)
+	if _, ok := s.Get("missing"); ok {
+		t.Fatalf("missing key must miss")
+	}
+	s.Put("a", []byte{1, 2, 3})
+	v, ok := s.Get("a")
+	if !ok || len(v) != 3 || v[0] != 1 {
+		t.Fatalf("Get after Put: %v %v", v, ok)
+	}
+	// Returned slice must be a copy.
+	v[0] = 99
+	v2, _ := s.Get("a")
+	if v2[0] != 1 {
+		t.Fatalf("Get must return a copy")
+	}
+	// Stored slice must be a copy too.
+	buf := []byte{7, 8}
+	s.Put("b", buf)
+	buf[0] = 9
+	vb, _ := s.Get("b")
+	if vb[0] != 7 {
+		t.Fatalf("Put must copy the value")
+	}
+	s.Delete("a")
+	if _, ok := s.Get("a"); ok {
+		t.Fatalf("Delete failed")
+	}
+	st := s.Stats()
+	if st.Gets != 5 || st.Puts != 2 || st.Misses != 2 || st.Keys != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.BytesStored != int64(len("b")+2) {
+		t.Fatalf("BytesStored: %d", st.BytesStored)
+	}
+}
+
+func TestShardedKVStoreShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {-3, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {16, 16}, {17, 32},
+	} {
+		if got := NewShardedKVStore(tc.in).NumShards(); got != tc.want {
+			t.Fatalf("NumShards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestShardedKVStoreConcurrent hammers one store from many goroutines with
+// overlapping keys; run under -race this is the shard-locking proof.
+func TestShardedKVStoreConcurrent(t *testing.T) {
+	s := NewShardedKVStore(8)
+	const goroutines = 16
+	const opsPerG = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < opsPerG; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(64))
+				switch rng.Intn(4) {
+				case 0:
+					s.Put(key, []byte{byte(g), byte(i)})
+				case 1:
+					if v, ok := s.Get(key); ok && len(v) != 2 {
+						t.Errorf("corrupt value %v", v)
+					}
+				case 2:
+					s.Delete(key)
+				default:
+					s.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Puts == 0 || st.Gets == 0 {
+		t.Fatalf("no traffic recorded: %+v", st)
+	}
+}
+
+// replayEvent is one synthetic session for the equivalence replays.
+type replayEvent struct {
+	sid    string
+	userID int
+	ts     int64
+	cat    []int
+	access bool
+}
+
+// syntheticLog builds a deterministic interleaved session log: users×rounds
+// sessions in global timestamp order with varying contexts and access
+// patterns.
+func syntheticLog(users, rounds int) []replayEvent {
+	var evs []replayEvent
+	start := synth.DefaultStart
+	for r := 0; r < rounds; r++ {
+		for u := 0; u < users; u++ {
+			ts := start + int64(r)*7200 + int64(u)*11
+			evs = append(evs, replayEvent{
+				sid:    fmt.Sprintf("u%d-s%d", u, r),
+				userID: u,
+				ts:     ts,
+				cat:    []int{(u + r) % 4, u % 3},
+				access: (u+r)%3 == 0,
+			})
+		}
+	}
+	return evs
+}
+
+// TestParallelMatchesSequential replays the same synthetic log through the
+// sequential processor (single-mutex store) and the parallel processor
+// (sharded store, 8 workers) and requires byte-identical stored hidden
+// states: per-user lanes keep each user's update order, and each user's
+// state chain depends only on that user's sessions.
+func TestParallelMatchesSequential(t *testing.T) {
+	m := testModel()
+	evs := syntheticLog(24, 6)
+
+	seqStore := NewKVStore()
+	seq := NewStreamProcessor(m, seqStore)
+	for _, e := range evs {
+		seq.OnSessionStart(e.sid, e.userID, e.ts, e.cat)
+		if e.access {
+			seq.OnAccess(e.sid, e.ts+30)
+		}
+	}
+	seq.Flush()
+
+	parStore := NewShardedKVStore(16)
+	par := NewParallelStreamProcessor(m, parStore, 8)
+	for _, e := range evs {
+		par.OnSessionStart(e.sid, e.userID, e.ts, e.cat)
+		if e.access {
+			par.OnAccess(e.sid, e.ts+30)
+		}
+	}
+	par.Close()
+
+	if got, want := par.UpdatesRun(), seq.UpdatesRun; got != want {
+		t.Fatalf("UpdatesRun: parallel %d vs sequential %d", got, want)
+	}
+	for u := 0; u < 24; u++ {
+		a, okA := seqStore.Get(hiddenKey(u))
+		b, okB := parStore.Get(hiddenKey(u))
+		if !okA || !okB {
+			t.Fatalf("user %d: missing state (seq %v, par %v)", u, okA, okB)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("user %d: parallel hidden state differs from sequential", u)
+		}
+	}
+}
+
+// TestParallelStreamProcessorConcurrent drives one processor from many
+// goroutines at once (one goroutine per user, so per-user event order stays
+// well defined) and checks every session is finalised exactly once.
+func TestParallelStreamProcessorConcurrent(t *testing.T) {
+	m := testModel()
+	store := NewShardedKVStore(16)
+	p := NewParallelStreamProcessor(m, store, 4)
+
+	const users = 12
+	const rounds = 8
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			start := synth.DefaultStart
+			for r := 0; r < rounds; r++ {
+				ts := start + int64(r)*7200
+				sid := fmt.Sprintf("u%d-s%d", u, r)
+				p.OnSessionStart(sid, u, ts, []int{u % 4, r % 3})
+				if r%2 == 0 {
+					p.OnAccess(sid, ts+30)
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	p.Close()
+
+	if got := p.UpdatesRun(); got != users*rounds {
+		t.Fatalf("UpdatesRun: %d, want %d", got, users*rounds)
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("Pending after Close: %d", p.Pending())
+	}
+	st := store.Stats()
+	if st.Keys != users {
+		t.Fatalf("stored keys: %d, want %d", st.Keys, users)
+	}
+}
+
+// TestParallelSyncVisibility checks Advance+Sync gives the sequential
+// path's read-your-writes behaviour: after Sync, the finalised session's
+// state is visible in the store.
+func TestParallelSyncVisibility(t *testing.T) {
+	m := testModel()
+	store := NewShardedKVStore(4)
+	p := NewParallelStreamProcessor(m, store, 2)
+	defer p.Close()
+
+	start := synth.DefaultStart
+	p.OnSessionStart("s1", 7, start, []int{1, 2})
+	p.OnAccess("s1", start+60)
+	if _, ok := store.Get(hiddenKey(7)); ok {
+		t.Fatalf("hidden must not exist before finalisation")
+	}
+	p.Advance(start + m.Schema.SessionLength + p.Epsilon + 1)
+	p.Sync()
+	raw, ok := store.Get(hiddenKey(7))
+	if !ok {
+		t.Fatalf("hidden state missing after Advance+Sync")
+	}
+	if h, ts, ok2 := DecodeHidden(raw); !ok2 || ts != start || len(h) != m.StateSize() {
+		t.Fatalf("stored hidden malformed")
+	}
+}
+
+// TestBatchPredictionMatchesSequential compares OnSessionStartBatch against
+// per-request OnSessionStart calls on a warmed store.
+func TestBatchPredictionMatchesSequential(t *testing.T) {
+	m := testModel()
+	store := NewShardedKVStore(8)
+
+	// Warm hidden states for half the users (the rest exercise cold start).
+	proc := NewStreamProcessor(m, store)
+	start := synth.DefaultStart
+	for u := 0; u < 10; u += 2 {
+		proc.OnSessionStart(fmt.Sprintf("w%d", u), u, start, []int{u % 4, 0})
+	}
+	proc.Flush()
+
+	svc := NewPredictionService(m, store, 0.5)
+	var reqs []PredictRequest
+	for u := 0; u < 10; u++ {
+		reqs = append(reqs, PredictRequest{UserID: u, Ts: start + 9000, Cat: []int{u % 4, 1}})
+	}
+	want := make([]Decision, len(reqs))
+	for i, r := range reqs {
+		want[i] = svc.OnSessionStart(r.UserID, r.Ts, r.Cat)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got := svc.OnSessionStartBatch(reqs, workers)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d req %d: %+v vs %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+	if svc.Predictions.Load() != int64(len(reqs)*4) {
+		t.Fatalf("Predictions counter: %d", svc.Predictions.Load())
+	}
+}
+
+// TestStreamProcessorAcceptsShardedStore checks the sequential processor
+// works unchanged against the sharded store (the Store interface seam).
+func TestStreamProcessorAcceptsShardedStore(t *testing.T) {
+	m := testModel()
+	store := NewShardedKVStore(4)
+	p := NewStreamProcessor(m, store)
+	p.OnSessionStart("s", 3, synth.DefaultStart, []int{0, 1})
+	p.Flush()
+	if _, ok := store.Get(hiddenKey(3)); !ok {
+		t.Fatalf("sequential processor must work with the sharded store")
+	}
+}

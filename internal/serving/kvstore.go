@@ -99,7 +99,19 @@ func (s *KVStore) Stats() Stats {
 
 // EncodeHidden serialises (hidden, lastTS) for storage.
 func EncodeHidden(h tensor.Vector, lastTS int64) []byte {
-	buf := make([]byte, 8+4*len(h))
+	return EncodeHiddenInto(nil, h, lastTS)
+}
+
+// EncodeHiddenInto is EncodeHidden into a reusable buffer: it reallocates
+// only when dst is too small and returns the encoded slice (the serving
+// hot path calls this once per finalisation; Put copies, so the buffer can
+// be reused immediately).
+func EncodeHiddenInto(dst []byte, h tensor.Vector, lastTS int64) []byte {
+	need := 8 + 4*len(h)
+	if cap(dst) < need {
+		dst = make([]byte, need)
+	}
+	buf := dst[:need]
 	binary.LittleEndian.PutUint64(buf, uint64(lastTS))
 	for i, v := range h {
 		binary.LittleEndian.PutUint32(buf[8+4*i:], math.Float32bits(float32(v)))
@@ -112,13 +124,24 @@ func DecodeHidden(buf []byte) (h tensor.Vector, lastTS int64, ok bool) {
 	if len(buf) < 8 || (len(buf)-8)%4 != 0 {
 		return nil, 0, false
 	}
+	// h is sized to match, so DecodeHiddenInto cannot fail here.
+	h = tensor.NewVector((len(buf) - 8) / 4)
+	lastTS, _ = DecodeHiddenInto(buf, h)
+	return h, lastTS, true
+}
+
+// DecodeHiddenInto decodes into a caller-owned vector, failing when the
+// encoded dimension does not match len(h) (which doubles as the
+// state-size check the processors need).
+func DecodeHiddenInto(buf []byte, h tensor.Vector) (lastTS int64, ok bool) {
+	if len(buf) < 8 || (len(buf)-8)%4 != 0 || (len(buf)-8)/4 != len(h) {
+		return 0, false
+	}
 	lastTS = int64(binary.LittleEndian.Uint64(buf))
-	n := (len(buf) - 8) / 4
-	h = tensor.NewVector(n)
-	for i := 0; i < n; i++ {
+	for i := range h {
 		h[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[8+4*i:])))
 	}
-	return h, lastTS, true
+	return lastTS, true
 }
 
 // HiddenValueBytes returns the stored size of one hidden state of dimension

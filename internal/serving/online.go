@@ -1,6 +1,8 @@
 package serving
 
 import (
+	"runtime"
+
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/features"
@@ -67,29 +69,49 @@ func RunOnlineExperiment(rnn *core.Model, gb *gbdt.Model, builder *features.Buil
 		score float64
 		label bool
 	}
-	var rnnObs, gbObs []obs
 
 	// RNN path: per-user replay with δ-lag (identical to the serving tier:
 	// prediction reads the newest state older than t − δ).
 	rnnScores, rnnLabels := rnn.EvaluateSessions(cohort, cohort.Start)
-	// GBDT path: features replayed from empty history.
+	// Per-user offsets into the EvaluateSessions output (one score per
+	// session, users emitted contiguously).
+	offsets := make([]int, len(cohort.Users))
 	idx := 0
-	for _, u := range cohort.Users {
-		exs := builder.BuildUser(u)
-		for _, ex := range exs {
+	for ui, u := range cohort.Users {
+		offsets[ui] = idx
+		idx += len(u.Sessions)
+	}
+
+	// GBDT path: features replayed from empty history. Per-user feature
+	// building and tree scoring are independent (BuildUser allocates a
+	// fresh aggregation state, tree scoring is read-only), so fan users
+	// across a worker pool and merge in user order for determinism.
+	type userObs struct{ rnn, gb []obs }
+	perUser := make([]userObs, len(cohort.Users))
+	parallelFor(len(cohort.Users), runtime.GOMAXPROCS(0), func(ui int) {
+		u := cohort.Users[ui]
+		var uo userObs
+		for _, ex := range builder.BuildUser(u) {
 			day := int((ex.Ts - cohort.Start) / dataset.Day)
 			if day >= cfg.Days {
 				continue
 			}
-			gbObs = append(gbObs, obs{day: day, score: gb.Predict(ex.Dense), label: ex.Label})
+			uo.gb = append(uo.gb, obs{day: day, score: gb.Predict(ex.Dense), label: ex.Label})
 		}
-		for _, s := range u.Sessions {
+		for si, s := range u.Sessions {
 			day := int((s.Timestamp - cohort.Start) / dataset.Day)
 			if day < cfg.Days {
-				rnnObs = append(rnnObs, obs{day: day, score: rnnScores[idx], label: rnnLabels[idx]})
+				k := offsets[ui] + si
+				uo.rnn = append(uo.rnn, obs{day: day, score: rnnScores[k], label: rnnLabels[k]})
 			}
-			idx++
 		}
+		perUser[ui] = uo
+	})
+
+	var rnnObs, gbObs []obs
+	for _, uo := range perUser {
+		rnnObs = append(rnnObs, uo.rnn...)
+		gbObs = append(gbObs, uo.gb...)
 	}
 
 	res := OnlineResult{TargetPrecision: cfg.TargetPrecision}

@@ -1,0 +1,215 @@
+package serving
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ParallelStreamProcessor is the multi-core variant of StreamProcessor: the
+// event-ingest side (session buffers, finalisation timers, virtual clock)
+// stays under one mutex, but due sessions are finalised by a pool of worker
+// goroutines. Each worker owns a lane — a FIFO channel — and a user's
+// sessions always hash to the same lane, so per-user update order (the only
+// order RNNupdate depends on) is preserved while different users' GRU
+// updates run concurrently. This mirrors the production deployment of §9,
+// where the stream processor is partitioned by user ID exactly like a
+// keyed Kafka consumer group.
+//
+// All methods are safe for concurrent use. Replays that interleave
+// predictions with updates and need the sequential path's read-your-writes
+// behaviour should call Sync after Advance; the zero-lag equivalence with
+// StreamProcessor then holds byte for byte (see
+// TestParallelMatchesSequential).
+type ParallelStreamProcessor struct {
+	model *core.Model
+	store Store
+	// Epsilon is the processing lag ε added to the session length before
+	// the finalisation timer fires.
+	Epsilon int64
+
+	mu      sync.Mutex
+	buffers map[string]*sessionBuffer
+	timers  timerHeap
+	now     int64
+	closed  bool
+
+	lanes   []chan *sessionBuffer
+	workers sync.WaitGroup
+
+	// inflight tracks dispatched-but-unfinished finalisations for Sync.
+	inflightMu   sync.Mutex
+	inflightCond *sync.Cond
+	inflight     int
+
+	updatesRun atomic.Int64
+}
+
+// NewParallelStreamProcessor wires a model and store and starts `workers`
+// finalisation goroutines (<=0 selects GOMAXPROCS). The store must be safe
+// for concurrent use; both KVStore and ShardedKVStore are.
+func NewParallelStreamProcessor(model *core.Model, store Store, workers int) *ParallelStreamProcessor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ParallelStreamProcessor{
+		model:   model,
+		store:   store,
+		Epsilon: core.DefaultEpsilon,
+		buffers: make(map[string]*sessionBuffer),
+		lanes:   make([]chan *sessionBuffer, workers),
+	}
+	p.inflightCond = sync.NewCond(&p.inflightMu)
+	for i := range p.lanes {
+		lane := make(chan *sessionBuffer, 128)
+		p.lanes[i] = lane
+		p.workers.Add(1)
+		go p.runWorker(lane)
+	}
+	return p
+}
+
+func (p *ParallelStreamProcessor) runWorker(lane <-chan *sessionBuffer) {
+	defer p.workers.Done()
+	scratch := newUpdateScratch(p.model)
+	for buf := range lane {
+		applySessionUpdate(p.model, p.store, buf, scratch)
+		p.updatesRun.Add(1)
+		p.inflightMu.Lock()
+		p.inflight--
+		if p.inflight == 0 {
+			p.inflightCond.Broadcast()
+		}
+		p.inflightMu.Unlock()
+	}
+}
+
+// laneFor maps a user to a worker lane. All of a user's sessions land on
+// the same lane, which is what preserves per-user ordering. The ID is
+// hashed directly (Fibonacci mix) — no key string is built on this path.
+func (p *ParallelStreamProcessor) laneFor(userID int) chan<- *sessionBuffer {
+	h := uint32(userID) * 2654435761
+	return p.lanes[h%uint32(len(p.lanes))]
+}
+
+// dispatch hands a finalised buffer to its user's lane. Callers must hold
+// p.mu (workers never take it, so the potentially blocking channel send
+// cannot deadlock).
+func (p *ParallelStreamProcessor) dispatch(buf *sessionBuffer) {
+	p.inflightMu.Lock()
+	p.inflight++
+	p.inflightMu.Unlock()
+	p.laneFor(buf.userID) <- buf
+}
+
+// Advance moves the virtual clock to ts, dispatching any due sessions to
+// the worker pool in timer order. It returns as soon as the due sessions
+// are queued; call Sync to wait for the updates to land in the store.
+func (p *ParallelStreamProcessor) Advance(ts int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked(ts)
+}
+
+func (p *ParallelStreamProcessor) advanceLocked(ts int64) {
+	for len(p.timers) > 0 && p.timers[0].fireAt <= ts {
+		e := heap.Pop(&p.timers).(timerEntry)
+		p.now = e.fireAt
+		if buf, ok := p.buffers[e.sessionID]; ok {
+			delete(p.buffers, e.sessionID)
+			p.dispatch(buf)
+		}
+	}
+	if ts > p.now {
+		p.now = ts
+	}
+}
+
+// OnSessionStart records the context of a new session and arms its
+// finalisation timer.
+func (p *ParallelStreamProcessor) OnSessionStart(sessionID string, userID int, ts int64, cat []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked(ts)
+	p.buffers[sessionID] = &sessionBuffer{
+		userID: userID,
+		start:  ts,
+		cat:    append([]int(nil), cat...),
+	}
+	heap.Push(&p.timers, timerEntry{
+		fireAt:    ts + p.model.Schema.SessionLength + p.Epsilon,
+		sessionID: sessionID,
+	})
+}
+
+// OnAccess records an access event for an in-flight session. Events for
+// unknown or already-finalised sessions are dropped (matching at-most-once
+// buffering semantics).
+func (p *ParallelStreamProcessor) OnAccess(sessionID string, ts int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked(ts)
+	if buf, ok := p.buffers[sessionID]; ok {
+		buf.accessed = true
+	}
+}
+
+// Sync blocks until every dispatched finalisation has been applied to the
+// store. Advance+Sync is the parallel analogue of the sequential Advance.
+func (p *ParallelStreamProcessor) Sync() {
+	p.inflightMu.Lock()
+	for p.inflight > 0 {
+		p.inflightCond.Wait()
+	}
+	p.inflightMu.Unlock()
+}
+
+// Flush dispatches all outstanding timers regardless of the clock (end of
+// replay) and waits for the updates to land.
+func (p *ParallelStreamProcessor) Flush() {
+	p.mu.Lock()
+	for len(p.timers) > 0 {
+		e := heap.Pop(&p.timers).(timerEntry)
+		p.now = e.fireAt
+		if buf, ok := p.buffers[e.sessionID]; ok {
+			delete(p.buffers, e.sessionID)
+			p.dispatch(buf)
+		}
+	}
+	p.mu.Unlock()
+	p.Sync()
+}
+
+// Close flushes outstanding work and stops the worker pool. The processor
+// must not be used after Close.
+func (p *ParallelStreamProcessor) Close() {
+	p.Flush()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, lane := range p.lanes {
+		close(lane)
+	}
+	p.mu.Unlock()
+	p.workers.Wait()
+}
+
+// Pending returns the number of in-flight (buffered, not yet dispatched)
+// sessions.
+func (p *ParallelStreamProcessor) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buffers)
+}
+
+// UpdatesRun counts completed GRU executions.
+func (p *ParallelStreamProcessor) UpdatesRun() int64 { return p.updatesRun.Load() }
+
+// Workers returns the worker-pool size.
+func (p *ParallelStreamProcessor) Workers() int { return len(p.lanes) }

@@ -1,6 +1,10 @@
 package serving
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/tensor"
 )
@@ -9,20 +13,24 @@ import (
 // recent hidden state (one KV lookup), run the MLP part of the model with
 // the current context, and precompute eagerly when the probability clears
 // the threshold.
+//
+// The service is safe for concurrent use: model inference is read-only,
+// the store is concurrency-safe, and the decision counters are atomics.
 type PredictionService struct {
 	model *core.Model
-	store *KVStore
+	store Store
 	// Threshold is the precompute decision boundary, chosen offline to
 	// target a precision (60% in the production experiment).
 	Threshold float64
 
-	// Decision counters for the precision/recall bookkeeping.
-	Predictions int64
-	Precomputes int64
+	// Decision counters for the precision/recall bookkeeping (atomics so
+	// batch fan-out never races, and aligned on 32-bit platforms).
+	Predictions atomic.Int64
+	Precomputes atomic.Int64
 }
 
 // NewPredictionService wires a model and store.
-func NewPredictionService(model *core.Model, store *KVStore, threshold float64) *PredictionService {
+func NewPredictionService(model *core.Model, store Store, threshold float64) *PredictionService {
 	return &PredictionService{model: model, store: store, Threshold: threshold}
 }
 
@@ -51,10 +59,71 @@ func (s *PredictionService) OnSessionStart(userID int, ts int64, cat []int) Deci
 	}
 	f := s.model.BuildPredictInput(ts, cat, sinceK, nil)
 	p := s.model.Predict(h[:s.model.HiddenDim()], f)
-	s.Predictions++
+	s.Predictions.Add(1)
 	d := Decision{Probability: p, Precompute: p >= s.Threshold}
 	if d.Precompute {
-		s.Precomputes++
+		s.Precomputes.Add(1)
 	}
 	return d
+}
+
+// PredictRequest is one element of a prediction batch.
+type PredictRequest struct {
+	UserID int
+	Ts     int64
+	Cat    []int
+}
+
+// OnSessionStartBatch serves a batch of independent predictions, fanning
+// the requests across `workers` goroutines (<=0 selects GOMAXPROCS).
+// Results are returned in request order; decisions are identical to
+// calling OnSessionStart per request, because predictions read the store
+// but never write it. This is the multi-core session-startup path: at peak
+// traffic the serving tier receives many session starts per scheduling
+// quantum, and each prediction is one KV read plus a small MLP, so the
+// batch parallelises near-linearly.
+func (s *PredictionService) OnSessionStartBatch(reqs []PredictRequest, workers int) []Decision {
+	out := make([]Decision, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parallelFor(len(reqs), workers, func(i int) {
+		r := reqs[i]
+		out[i] = s.OnSessionStart(r.UserID, r.Ts, r.Cat)
+	})
+	return out
+}
+
+// parallelFor runs fn(0..n-1) across `workers` work-stealing goroutines
+// (workers <= 1 runs inline). fn must be safe to call concurrently for
+// distinct indices.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

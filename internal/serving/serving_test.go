@@ -195,8 +195,8 @@ func TestPredictionServiceColdStartAndThreshold(t *testing.T) {
 	if !d.Precompute {
 		t.Fatalf("threshold -1 must always precompute")
 	}
-	if svc.Predictions != 2 || svc.Precomputes != 1 {
-		t.Fatalf("counters: %d %d", svc.Predictions, svc.Precomputes)
+	if svc.Predictions.Load() != 2 || svc.Precomputes.Load() != 1 {
+		t.Fatalf("counters: %d %d", svc.Predictions.Load(), svc.Precomputes.Load())
 	}
 }
 

@@ -1,0 +1,149 @@
+package serving
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Store is the key-value surface the serving tier depends on. Both the
+// single-mutex KVStore and the ShardedKVStore implement it, so the stream
+// processor and prediction service work against either.
+//
+// Implementations must not retain the value slice passed to Put (copy it),
+// and Get must return a caller-owned copy: the finalisation hot path
+// reuses its encode buffer across Puts, so a retaining store would see
+// every state silently overwritten by the next session on the same lane.
+type Store interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, value []byte)
+	Delete(key string)
+	Stats() Stats
+}
+
+var (
+	_ Store = (*KVStore)(nil)
+	_ Store = (*ShardedKVStore)(nil)
+)
+
+// DefaultShards is the shard count used when NewShardedKVStore is given a
+// non-positive value. 16 shards keep lock contention negligible up to a few
+// dozen cores while costing only 16 small maps.
+const DefaultShards = 16
+
+// kvShard is one lock domain of the sharded store.
+type kvShard struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+// ShardedKVStore is a drop-in replacement for KVStore that spreads keys
+// over N power-of-two shards, each guarded by its own RWMutex, with the
+// access counters kept as atomics so hot-path operations never serialise on
+// a global lock. It models the partitioned deployment of the paper's
+// "real-time data store similar to Redis" (§9): per-user hidden states are
+// independent, so the keyspace shards trivially.
+type ShardedKVStore struct {
+	shards []kvShard
+	mask   uint32
+
+	gets, puts, misses  atomic.Int64
+	bytesRead, bytesPut atomic.Int64
+}
+
+// NewShardedKVStore returns an empty store with the given shard count
+// rounded up to a power of two (<=0 selects DefaultShards).
+func NewShardedKVStore(shards int) *ShardedKVStore {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &ShardedKVStore{shards: make([]kvShard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i].data = make(map[string][]byte)
+	}
+	return s
+}
+
+// NumShards returns the (power-of-two) shard count.
+func (s *ShardedKVStore) NumShards() int { return len(s.shards) }
+
+// fnv1a is the 32-bit FNV-1a hash of key, inlined to keep the hot path
+// allocation-free (hash/fnv forces the key through an io.Writer).
+func fnv1a(key string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime
+	}
+	return h
+}
+
+func (s *ShardedKVStore) shard(key string) *kvShard {
+	return &s.shards[fnv1a(key)&s.mask]
+}
+
+// Get returns a copy of the stored value (nil, false on miss). Every call
+// is counted.
+func (s *ShardedKVStore) Get(key string) ([]byte, bool) {
+	s.gets.Add(1)
+	sh := s.shard(key)
+	sh.mu.RLock()
+	v, ok := sh.data[key]
+	if !ok {
+		sh.mu.RUnlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	sh.mu.RUnlock()
+	s.bytesRead.Add(int64(len(out)))
+	return out, true
+}
+
+// Put stores a copy of value under key.
+func (s *ShardedKVStore) Put(key string, value []byte) {
+	s.puts.Add(1)
+	s.bytesPut.Add(int64(len(value)))
+	v := make([]byte, len(value))
+	copy(v, value)
+	sh := s.shard(key)
+	sh.mu.Lock()
+	sh.data[key] = v
+	sh.mu.Unlock()
+}
+
+// Delete removes a key.
+func (s *ShardedKVStore) Delete(key string) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	delete(sh.data, key)
+	sh.mu.Unlock()
+}
+
+// Stats returns the current counters and resident footprint. The per-shard
+// scans take each shard's read lock in turn, so the snapshot is per-shard
+// consistent (adequate for the cost accounting it feeds).
+func (s *ShardedKVStore) Stats() Stats {
+	st := Stats{
+		Gets: s.gets.Load(), Puts: s.puts.Load(), Misses: s.misses.Load(),
+		BytesRead: s.bytesRead.Load(), BytesPut: s.bytesPut.Load(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Keys += len(sh.data)
+		for k, v := range sh.data {
+			st.BytesStored += int64(len(k) + len(v))
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}

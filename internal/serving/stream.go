@@ -2,7 +2,7 @@ package serving
 
 import (
 	"container/heap"
-	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/tensor"
@@ -34,8 +34,8 @@ type timerHeap []timerEntry
 func (h timerHeap) Len() int            { return len(h) }
 func (h timerHeap) Less(i, j int) bool  { return h[i].fireAt < h[j].fireAt }
 func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerEntry)) }
-func (h *timerHeap) Pop() interface{} {
+func (h *timerHeap) Push(x any) { *h = append(*h, x.(timerEntry)) }
+func (h *timerHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -47,7 +47,7 @@ func (h *timerHeap) Pop() interface{} {
 // analogue) and maintains per-user hidden states in the KV store.
 type StreamProcessor struct {
 	model *core.Model
-	store *KVStore
+	store Store
 	// Epsilon is the processing lag ε added to the session length before
 	// the finalisation timer fires.
 	Epsilon int64
@@ -55,6 +55,7 @@ type StreamProcessor struct {
 	buffers map[string]*sessionBuffer
 	timers  timerHeap
 	now     int64
+	scratch *updateScratch
 
 	// UpdatesRun counts GRU executions (the paper's most expensive model
 	// component runs once per session, off the critical path).
@@ -62,17 +63,35 @@ type StreamProcessor struct {
 }
 
 // NewStreamProcessor wires a model and store.
-func NewStreamProcessor(model *core.Model, store *KVStore) *StreamProcessor {
+func NewStreamProcessor(model *core.Model, store Store) *StreamProcessor {
 	return &StreamProcessor{
 		model:   model,
 		store:   store,
 		Epsilon: core.DefaultEpsilon,
 		buffers: make(map[string]*sessionBuffer),
+		scratch: newUpdateScratch(model),
 	}
 }
 
 // hiddenKey is the per-user KV key.
-func hiddenKey(userID int) string { return fmt.Sprintf("h:%d", userID) }
+func hiddenKey(userID int) string { return "h:" + strconv.Itoa(userID) }
+
+// updateScratch holds the reusable buffers of the finalisation hot path —
+// one per processor (sequential) or per worker lane (parallel), so GRU
+// updates run allocation-free apart from the store's defensive copies.
+type updateScratch struct {
+	state, next, in, cell tensor.Vector
+	enc                   []byte
+}
+
+func newUpdateScratch(m *core.Model) *updateScratch {
+	return &updateScratch{
+		state: tensor.NewVector(m.StateSize()),
+		next:  tensor.NewVector(m.StateSize()),
+		in:    tensor.NewVector(m.UpdateDim()),
+		cell:  tensor.NewVector(m.UpdateScratchSize()),
+	}
+}
 
 // Advance moves the virtual clock to ts, firing any due timers in order.
 func (p *StreamProcessor) Advance(ts int64) {
@@ -118,25 +137,37 @@ func (p *StreamProcessor) finalize(sessionID string) {
 		return
 	}
 	delete(p.buffers, sessionID)
+	applySessionUpdate(p.model, p.store, buf, p.scratch)
+	p.UpdatesRun++
+}
 
-	var h tensor.Vector
+// applySessionUpdate is the finalisation step shared by the sequential and
+// parallel processors: read the user's hidden state, fold the session in
+// with RNNupdate, write the new state back. Model inference is read-only
+// and the Store implementations are concurrency-safe, so this is safe to
+// run from many goroutines as long as no two run for the same user at once
+// and each caller owns its scratch.
+func applySessionUpdate(model *core.Model, store Store, buf *sessionBuffer, sc *updateScratch) {
+	key := hiddenKey(buf.userID)
 	var lastTS int64
-	if raw, found := p.store.Get(hiddenKey(buf.userID)); found {
-		if dec, ts, ok := DecodeHidden(raw); ok && len(dec) == p.model.StateSize() {
-			h, lastTS = dec, ts
-		}
+	decoded := false
+	if raw, found := store.Get(key); found {
+		// DecodeHiddenInto fails on a dimension mismatch, which doubles as
+		// the stale-state check (len == StateSize) of the scratch-free path.
+		lastTS, decoded = DecodeHiddenInto(raw, sc.state)
 	}
-	if h == nil {
-		h = p.model.InitialState()
+	if !decoded {
+		sc.state.Zero() // h_0 (§6.1)
+		lastTS = 0
 	}
 	var dt int64
 	if lastTS != 0 {
 		dt = buf.start - lastTS
 	}
-	in := p.model.BuildUpdateInput(buf.start, buf.cat, buf.accessed, dt, nil)
-	next := p.model.UpdateState(h, in)
-	p.UpdatesRun++
-	p.store.Put(hiddenKey(buf.userID), EncodeHidden(next, buf.start))
+	in := model.BuildUpdateInput(buf.start, buf.cat, buf.accessed, dt, sc.in)
+	model.UpdateStateInto(sc.next, sc.state, in, sc.cell)
+	sc.enc = EncodeHiddenInto(sc.enc, sc.next, buf.start)
+	store.Put(key, sc.enc)
 }
 
 // Flush fires all outstanding timers regardless of the clock (end of
