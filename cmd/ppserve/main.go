@@ -8,10 +8,18 @@
 // a sharded KV store, a worker-pool stream processor (per-user lanes keep
 // update order), and batched fan-out predictions sized by -batch.
 //
+// Lifecycle flags swap in the durable, memory-bounded statestore:
+// -persist DIR enables the WAL + snapshot tier (and -restart-after
+// simulates a crash mid-replay, recovering from disk), -evict-after bounds
+// state idleness (evicted users fall back to h_0 cold start), -mem-budget
+// caps resident bytes, and -quant holds warm states int8-quantized.
+//
 // Usage:
 //
 //	ppserve -users 500 -threshold 0.5
 //	ppserve -users 500 -workers 8 -batch 64
+//	ppserve -users 500 -persist /tmp/pp -restart-after 0.5
+//	ppserve -users 500 -evict-after 72h -mem-budget 65536 -quant
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/serving"
+	"repro/internal/statestore"
 	"repro/internal/synth"
 )
 
@@ -37,8 +46,20 @@ func main() {
 		workers   = flag.Int("workers", 1, "serving concurrency (1 = sequential compatibility path)")
 		batch     = flag.Int("batch", 1, "prediction micro-batch size when workers > 1 (1 = lock-step parity with the sequential path; use >1, e.g. 64, for throughput)")
 		shards    = flag.Int("shards", serving.DefaultShards, "KV store shard count (used when workers > 1)")
+
+		persist      = flag.String("persist", "", "statestore durability directory (WAL + snapshots); empty = volatile")
+		evictAfter   = flag.Duration("evict-after", 0, "idle eviction horizon in virtual time (0 = never evict)")
+		memBudget    = flag.Int64("mem-budget", 0, "resident byte budget for hidden states (0 = unbounded)")
+		quant        = flag.Bool("quant", false, "hold warm states int8-quantized (1 byte/dim, §9)")
+		restartAfter = flag.Float64("restart-after", 0, "simulate a crash + restart after this fraction of the replay (requires -persist)")
 	)
 	flag.Parse()
+
+	lifecycle := *persist != "" || *evictAfter > 0 || *memBudget > 0 || *quant
+	if *restartAfter > 0 && *persist == "" {
+		fmt.Println("ppserve: -restart-after requires -persist (a volatile store cannot recover)")
+		return
+	}
 
 	fmt.Println("== predictive precompute serving simulation ==")
 	cfg := synth.DefaultMobileTab()
@@ -92,52 +113,116 @@ func main() {
 	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i].ts < evs[j].ts })
 
-	// Pick the serving stack: sequential compatibility path at workers=1,
-	// sharded store + worker-pool processor above that.
-	var (
+	ssOpts := statestore.Options{
+		Dir:        *persist,
+		EvictAfter: int64(evictAfter.Seconds()),
+		MemBudget:  *memBudget,
+		Shards:     *shards,
+	}
+	if *quant {
+		ssOpts.Codec = statestore.CodecInt8
+	}
+
+	// stack is one generation of the serving tier; a simulated restart
+	// tears it down and rebuilds it from the persisted state.
+	type stack struct {
 		store       serving.Store
+		ss          *statestore.Store // non-nil when the lifecycle store is in use
+		svc         *serving.PredictionService
 		advance     func(ts int64)
 		onSession   func(sid string, user int, ts int64, cat []int)
 		onAccess    func(sid string, ts int64)
 		flush       func()
 		updatesRun  func() int64
 		pendingLeft func() int
-	)
+	}
+	buildStack := func(announce bool) *stack {
+		st := &stack{}
+		if lifecycle {
+			ss, err := statestore.Open(ssOpts)
+			if err != nil {
+				fmt.Printf("ppserve: opening statestore: %v\n", err)
+				return nil
+			}
+			st.store, st.ss = ss, ss
+			if announce {
+				fmt.Printf("state store: statestore (persist=%q codec=%s evict-after=%s mem-budget=%d)\n",
+					*persist, ssOpts.Codec, *evictAfter, *memBudget)
+				if n := ss.Lifecycle().RecoveredKeys; n > 0 {
+					fmt.Printf("note: recovered %d states from a previous run in %s\n", n, *persist)
+				}
+			}
+		}
+		if *workers > 1 {
+			if st.store == nil {
+				sh := serving.NewShardedKVStore(*shards)
+				st.store = sh
+				if announce {
+					fmt.Printf("state store: %d-shard in-memory KV\n", sh.NumShards())
+				}
+			}
+			proc := serving.NewParallelStreamProcessor(model, st.store, *workers)
+			// Advance+Sync preserves the sequential path's read-your-writes
+			// semantics at every prediction point.
+			st.advance = func(ts int64) { proc.Advance(ts); proc.Sync() }
+			st.onSession = proc.OnSessionStart
+			st.onAccess = proc.OnAccess
+			st.flush = proc.Close
+			st.updatesRun = proc.UpdatesRun
+			st.pendingLeft = proc.Pending
+			if announce {
+				fmt.Printf("serving stack: %d worker lanes, batch %d\n", proc.Workers(), maxInt(*batch, 1))
+			}
+		} else {
+			if st.store == nil {
+				st.store = serving.NewKVStore()
+				if announce {
+					fmt.Println("state store: single-mutex in-memory KV")
+				}
+			}
+			proc := serving.NewStreamProcessor(model, st.store)
+			st.advance = proc.Advance
+			st.onSession = proc.OnSessionStart
+			st.onAccess = proc.OnAccess
+			st.flush = proc.Flush
+			st.updatesRun = func() int64 { return proc.UpdatesRun }
+			st.pendingLeft = proc.Pending
+			if announce {
+				fmt.Println("serving stack: sequential (in-line updates)")
+			}
+		}
+		st.svc = serving.NewPredictionService(model, st.store, thr)
+		return st
+	}
+
+	cur := buildStack(true)
+	if cur == nil {
+		return
+	}
 	bsz := *batch
 	if bsz < 1 || *workers <= 1 {
 		bsz = 1
 	}
-	if *workers > 1 {
-		sh := serving.NewShardedKVStore(*shards)
-		proc := serving.NewParallelStreamProcessor(model, sh, *workers)
-		store = sh
-		// Advance+Sync preserves the sequential path's read-your-writes
-		// semantics at every prediction point.
-		advance = func(ts int64) { proc.Advance(ts); proc.Sync() }
-		onSession = proc.OnSessionStart
-		onAccess = proc.OnAccess
-		flush = proc.Close
-		updatesRun = proc.UpdatesRun
-		pendingLeft = proc.Pending
-		fmt.Printf("serving stack: %d-shard KV store, %d worker lanes, batch %d\n",
-			sh.NumShards(), proc.Workers(), bsz)
-	} else {
-		kv := serving.NewKVStore()
-		proc := serving.NewStreamProcessor(model, kv)
-		store = kv
-		advance = proc.Advance
-		onSession = proc.OnSessionStart
-		onAccess = proc.OnAccess
-		flush = proc.Flush
-		updatesRun = func() int64 { return proc.UpdatesRun }
-		pendingLeft = proc.Pending
-		fmt.Println("serving stack: sequential (single-mutex store, in-line updates)")
-	}
-	svc := serving.NewPredictionService(model, store, thr)
 
-	// Scoring runs on the replay goroutine only (batches are scored after
-	// OnSessionStartBatch returns), so plain counters suffice.
+	// Counters accumulated across stack generations (a restart must not
+	// lose the pre-crash half of the report).
 	var tp, fp, fn, tn int
+	var acc serving.Stats
+	var accPred, accCold, accFail, accUpdates int64
+	retire := func(s *stack) {
+		s.flush()
+		st := s.store.Stats()
+		acc.Gets += st.Gets
+		acc.Puts += st.Puts
+		acc.Misses += st.Misses
+		acc.BytesRead += st.BytesRead
+		acc.BytesPut += st.BytesPut
+		accPred += s.svc.Predictions.Load()
+		accCold += s.svc.ColdStarts.Load()
+		accFail += s.svc.DecodeFailures.Load()
+		accUpdates += s.updatesRun()
+	}
+
 	score := func(dec serving.Decision, access bool) {
 		switch {
 		case dec.Precompute && access:
@@ -151,8 +236,39 @@ func main() {
 		}
 	}
 
+	restartAt := -1
+	if *restartAfter > 0 && *restartAfter < 1 {
+		restartAt = int(float64(len(evs)) * *restartAfter)
+	}
+
 	t0 := time.Now()
 	for lo := 0; lo < len(evs); lo += bsz {
+		if restartAt >= 0 && lo >= restartAt {
+			restartAt = -1
+			// Retire (flush) BEFORE snapshotting the keyset: the flush's
+			// final Puts can trigger legitimate evictions, which must not
+			// be mistaken for recovery losses.
+			retire(cur)
+			keysBefore := cur.store.Keys()
+			if err := cur.ss.Close(); err != nil {
+				fmt.Printf("ppserve: closing statestore: %v\n", err)
+				return
+			}
+			cur = buildStack(false)
+			if cur == nil {
+				return
+			}
+			lost := missingKeys(keysBefore, cur.store.Keys())
+			ls := cur.ss.Lifecycle()
+			fmt.Printf("\n-- simulated restart at event %d --\n", lo)
+			fmt.Printf("recovered %d states (replayed %d records, %dB torn tail)\n",
+				ls.RecoveredKeys, ls.ReplayedRecords, ls.TornTailBytes)
+			if lost == 0 {
+				fmt.Println("zero unexpected cold starts: every pre-crash state survived")
+			} else {
+				fmt.Printf("WARNING: %d states lost across restart (unexpected cold starts ahead)\n", lost)
+			}
+		}
 		hi := lo + bsz
 		if hi > len(evs) {
 			hi = len(evs)
@@ -161,26 +277,27 @@ func main() {
 		// All predictions in a micro-batch observe the store as of the
 		// group's first timestamp (the state a real batched tier would
 		// serve from), then the group's stream events are ingested.
-		advance(group[0].ts)
+		cur.advance(group[0].ts)
 		if bsz == 1 {
-			score(svc.OnSessionStart(group[0].user, group[0].ts, group[0].cat), group[0].access)
+			score(cur.svc.OnSessionStart(group[0].user, group[0].ts, group[0].cat), group[0].access)
 		} else {
 			reqs := make([]serving.PredictRequest, len(group))
 			for i, e := range group {
 				reqs[i] = serving.PredictRequest{UserID: e.user, Ts: e.ts, Cat: e.cat}
 			}
-			for i, dec := range svc.OnSessionStartBatch(reqs, *workers) {
+			for i, dec := range cur.svc.OnSessionStartBatch(reqs, *workers) {
 				score(dec, group[i].access)
 			}
 		}
 		for _, e := range group {
-			onSession(e.sid, e.user, e.ts, e.cat)
+			cur.onSession(e.sid, e.user, e.ts, e.cat)
 			if e.access {
-				onAccess(e.sid, e.ts+30)
+				cur.onAccess(e.sid, e.ts+30)
 			}
 		}
 	}
-	flush()
+	pending := cur.pendingLeft
+	retire(cur)
 	elapsed := time.Since(t0)
 
 	fmt.Printf("\nreplayed %d sessions for %d users in %s (%.0f sessions/s)\n",
@@ -198,13 +315,38 @@ func main() {
 		tp+fp, len(evs), 100*float64(tp+fp)/float64(len(evs)))
 	fmt.Printf("precision %.1f%%  recall (successful prefetches) %.1f%%\n", 100*precision, 100*recall)
 
-	st := store.Stats()
-	fmt.Printf("\nKV store: %d keys, %d gets (%d misses), %d puts\n", st.Keys, st.Gets, st.Misses, st.Puts)
+	final := cur.store.Stats()
+	fmt.Printf("\nKV store: %d keys, %d gets (%d misses), %d puts\n",
+		final.Keys, acc.Gets, acc.Misses, acc.Puts)
 	fmt.Printf("bytes: %d stored (%d per user), %d read, %d written\n",
-		st.BytesStored, st.BytesStored/int64(maxInt(st.Keys, 1)), st.BytesRead, st.BytesPut)
-	fmt.Printf("stream processor: %d hidden updates, %d sessions pending\n", updatesRun(), pendingLeft())
+		final.BytesStored, final.BytesStored/int64(maxInt(final.Keys, 1)), acc.BytesRead, acc.BytesPut)
+	fmt.Printf("prediction service: %d cold starts, %d decode failures\n", accCold, accFail)
+	fmt.Printf("stream processor: %d hidden updates, %d sessions pending\n", accUpdates, pending())
 	fmt.Printf("lookups per prediction: %.2f (the aggregation-based design needs ≈20, §9)\n",
-		float64(st.Gets)/float64(svc.Predictions.Load()))
+		float64(acc.Gets)/float64(accPred))
+	if cur.ss != nil {
+		ls := cur.ss.Lifecycle()
+		fmt.Printf("lifecycle: %d idle + %d budget evictions, %d snapshots, %d WAL records (%dB)\n",
+			ls.IdleEvictions, ls.BudgetEvictions, ls.Snapshots, ls.WALRecords, ls.WALBytes)
+		if err := cur.ss.Close(); err != nil {
+			fmt.Printf("ppserve: statestore error: %v\n", err)
+		}
+	}
+}
+
+// missingKeys counts keys of before absent from after.
+func missingKeys(before, after []string) int {
+	set := make(map[string]struct{}, len(after))
+	for _, k := range after {
+		set[k] = struct{}{}
+	}
+	lost := 0
+	for _, k := range before {
+		if _, ok := set[k]; !ok {
+			lost++
+		}
+	}
+	return lost
 }
 
 func maxInt(a, b int) int {

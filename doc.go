@@ -19,6 +19,8 @@
 //     versions of the paper's three datasets (§4)
 //   - internal/serving — KV store, stream processor, cost model, online
 //     experiment (§9)
+//   - internal/statestore — durable, memory-bounded hidden-state store
+//     (WAL + snapshots, idle eviction, byte budget, int8 tier)
 //   - internal/experiments — one driver per table/figure (§8-9)
 //   - cmd/{ppgen,ppbench,ppserve} — command-line tools
 //   - examples/ — runnable walkthroughs of the public API

@@ -126,6 +126,7 @@ func (l *Lab) All() []*Report {
 		l.OnlineRecall(),
 		l.ServingCost(),
 		l.Parallelism(),
+		l.Lifecycle(),
 		l.Batching(),
 		l.Cells(),
 		l.LatentCross(),
@@ -154,6 +155,7 @@ func (l *Lab) ByID(id string) *Report {
 		"online-recall": l.OnlineRecall,
 		"serving":       l.ServingCost,
 		"parallel":      l.Parallelism,
+		"lifecycle":     l.Lifecycle,
 		"batching":      l.Batching,
 		"cells":         l.Cells,
 		"latentcross":   l.LatentCross,
@@ -175,7 +177,7 @@ func IDs() []string {
 	return []string{
 		"table1", "table2", "figure1", "table3", "table4", "table5",
 		"figure4", "figure5", "figure6", "figure7", "online-recall",
-		"serving", "parallel", "batching", "cells", "latentcross", "hiddendim", "losswindow",
+		"serving", "parallel", "lifecycle", "batching", "cells", "latentcross", "hiddendim", "losswindow",
 		"stacked", "universal", "retrain", "quantization",
 	}
 }

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/serving"
+	"repro/internal/statestore"
+)
+
+// Lifecycle measures what the bounded, durable statestore costs in
+// prediction quality: the §9 replay runs over the exact unbounded store,
+// then under idle-eviction horizons, the int8 tier, and a resident-byte
+// budget. Evicted users fall back to h_0 cold start, so recall at the 60%
+// precision threshold degrades gracefully as the horizon tightens — this
+// table quantifies the memory-for-recall trade the paper's deployment
+// section implies but never measures.
+func (l *Lab) Lifecycle() *Report {
+	set := l.Models(DataMobileTab)
+	model := set.RNN
+
+	// The production threshold targets 60% precision on the training side
+	// (§9), shared by every store variant.
+	scores, labels := model.EvaluateSessions(set.Split.Train, set.Split.Train.CutoffForLastDays(7))
+	_, thr := metrics.RecallAtPrecision(scores, labels, 0.6)
+
+	// The replayed cohort in global timestamp order.
+	type event struct {
+		ts     int64
+		user   int
+		sid    string
+		cat    []int
+		access bool
+	}
+	var evs []event
+	for _, u := range set.Split.Test.Users {
+		for i, s := range u.Sessions {
+			evs = append(evs, event{
+				ts: s.Timestamp, user: u.ID,
+				sid: fmt.Sprintf("u%d-s%d", u.ID, i), cat: s.Cat, access: s.Access,
+			})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].ts < evs[j].ts })
+
+	type outcome struct {
+		precision, recall float64
+		coldStarts        int64
+		resident          int64
+		evictions         int64
+	}
+	replay := func(opts statestore.Options) outcome {
+		opts.SweepEvery = 256 // sweep often enough for horizons to bite mid-replay
+		store, err := statestore.Open(opts)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		defer store.Close()
+		proc := serving.NewStreamProcessor(model, store)
+		svc := serving.NewPredictionService(model, store, thr)
+		var tp, fp, fn int
+		for _, e := range evs {
+			proc.Advance(e.ts)
+			dec := svc.OnSessionStart(e.user, e.ts, e.cat)
+			switch {
+			case dec.Precompute && e.access:
+				tp++
+			case dec.Precompute && !e.access:
+				fp++
+			case !dec.Precompute && e.access:
+				fn++
+			}
+			proc.OnSessionStart(e.sid, e.user, e.ts, e.cat)
+			if e.access {
+				proc.OnAccess(e.sid, e.ts+30)
+			}
+		}
+		proc.Flush()
+		var o outcome
+		if tp+fp > 0 {
+			o.precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			o.recall = float64(tp) / float64(tp+fn)
+		}
+		o.coldStarts = svc.ColdStarts.Load()
+		o.resident = store.Stats().BytesStored
+		ls := store.Lifecycle()
+		o.evictions = ls.IdleEvictions + ls.BudgetEvictions
+		return o
+	}
+
+	const day = int64(86400)
+	exact := replay(statestore.Options{})
+	// The budget variant keeps ~40% of the exact footprint resident.
+	budget := exact.resident * 2 / 5
+	configs := []struct {
+		name string
+		opts statestore.Options
+	}{
+		{"evict 7d", statestore.Options{EvictAfter: 7 * day}},
+		{"evict 2d", statestore.Options{EvictAfter: 2 * day}},
+		{"evict 12h", statestore.Options{EvictAfter: day / 2}},
+		{"int8 tier", statestore.Options{Codec: statestore.CodecInt8}},
+		{"int8 + evict 2d", statestore.Options{Codec: statestore.CodecInt8, EvictAfter: 2 * day}},
+		{fmt.Sprintf("budget %dB", budget), statestore.Options{MemBudget: budget}},
+	}
+
+	r := &Report{
+		ID:     "lifecycle",
+		Title:  "Bounded statestore vs exact store (threshold targets 60% precision)",
+		Header: []string{"STORE", "PRECISION", "RECALL", "dRECALL", "COLD", "RESIDENT B", "EVICTED"},
+	}
+	row := func(name string, o outcome) {
+		r.Rows = append(r.Rows, []string{
+			name, f3(o.precision), f3(o.recall),
+			fmt.Sprintf("%+.3f", o.recall-exact.recall),
+			fint(int(o.coldStarts)), fint(int(o.resident)), fint(int(o.evictions)),
+		})
+	}
+	row("exact", exact)
+	for _, c := range configs {
+		row(c.name, replay(c.opts))
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("replayed %d sessions; evicted users serve h_0 cold starts (§9), so tighter horizons trade recall for a hard memory ceiling", len(evs)),
+		"the int8 tier shrinks the per-state vector 4x; its recall shift reflects a precompute threshold tuned on float32 scores (PR-AUC itself moves <0.02, see quantization tests)")
+	return r
+}

@@ -25,6 +25,7 @@ type KVStore struct {
 
 	gets, puts, misses  int64
 	bytesRead, bytesPut int64
+	bytesStored         int64
 }
 
 // NewKVStore returns an empty store.
@@ -56,6 +57,10 @@ func (s *KVStore) Put(key string, value []byte) {
 	s.bytesPut += int64(len(value))
 	v := make([]byte, len(value))
 	copy(v, value)
+	if old, ok := s.data[key]; ok {
+		s.bytesStored -= int64(len(key) + len(old))
+	}
+	s.bytesStored += int64(len(key) + len(v))
 	s.data[key] = v
 }
 
@@ -63,7 +68,21 @@ func (s *KVStore) Put(key string, value []byte) {
 func (s *KVStore) Delete(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.data, key)
+	if old, ok := s.data[key]; ok {
+		s.bytesStored -= int64(len(key) + len(old))
+		delete(s.data, key)
+	}
+}
+
+// Keys snapshots the resident keyset (unordered).
+func (s *KVStore) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	return out
 }
 
 // Stats is a snapshot of the store's access counters.
@@ -77,17 +96,15 @@ type Stats struct {
 	BytesStored int64
 }
 
-// Stats returns the current counters and resident footprint.
+// Stats returns the current counters and resident footprint. BytesStored
+// is maintained incrementally by Put/Delete — the old full-map scan under
+// the mutex did not scale to million-key populations.
 func (s *KVStore) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var stored int64
-	for k, v := range s.data {
-		stored += int64(len(k) + len(v))
-	}
 	return Stats{
 		Keys: len(s.data), Gets: s.gets, Puts: s.puts, Misses: s.misses,
-		BytesRead: s.bytesRead, BytesPut: s.bytesPut, BytesStored: stored,
+		BytesRead: s.bytesRead, BytesPut: s.bytesPut, BytesStored: s.bytesStored,
 	}
 }
 
@@ -155,13 +172,21 @@ func HiddenValueBytes(d int) int { return 8 + 4*d }
 // combinations of tanh outputs, so they live in (−1, 1) and a fixed-scale
 // int8 code loses at most 1/254 per dimension.
 
+// QuantizeSample maps one hidden value to its fixed-scale int8 code; it is
+// the single source of the quantization arithmetic, shared with the
+// statestore's int8 tier so the two can never drift bit-wise.
+func QuantizeSample(v float64) int8 { return int8(quantClamp(v) * 127) }
+
+// DequantizeSample reverses QuantizeSample.
+func DequantizeSample(b int8) float64 { return float64(b) / 127 }
+
 // EncodeHiddenQuantized serialises (hidden, lastTS) at one byte per
 // dimension.
 func EncodeHiddenQuantized(h tensor.Vector, lastTS int64) []byte {
 	buf := make([]byte, 8+len(h))
 	binary.LittleEndian.PutUint64(buf, uint64(lastTS))
 	for i, v := range h {
-		buf[8+i] = byte(int8(quantClamp(v) * 127))
+		buf[8+i] = byte(QuantizeSample(v))
 	}
 	return buf
 }
@@ -174,7 +199,7 @@ func DecodeHiddenQuantized(buf []byte) (h tensor.Vector, lastTS int64, ok bool) 
 	lastTS = int64(binary.LittleEndian.Uint64(buf))
 	h = tensor.NewVector(len(buf) - 8)
 	for i := range h {
-		h[i] = float64(int8(buf[8+i])) / 127
+		h[i] = DequantizeSample(int8(buf[8+i]))
 	}
 	return h, lastTS, true
 }
@@ -189,7 +214,7 @@ func QuantizedValueBytes(d int) int { return 8 + d }
 func QuantizeRoundTrip(h tensor.Vector) tensor.Vector {
 	out := tensor.NewVector(len(h))
 	for i, v := range h {
-		out[i] = float64(int8(quantClamp(v)*127)) / 127
+		out[i] = DequantizeSample(QuantizeSample(v))
 	}
 	return out
 }

@@ -27,6 +27,14 @@ type PredictionService struct {
 	// batch fan-out never races, and aligned on 32-bit platforms).
 	Predictions atomic.Int64
 	Precomputes atomic.Int64
+	// ColdStarts counts predictions served from h_0 because no usable
+	// hidden state was stored (miss, decode failure, or dimension
+	// mismatch); DecodeFailures counts the subset where a state WAS stored
+	// but could not be used. A nonzero DecodeFailures means the store is
+	// corrupting or mis-sizing states — before these counters existed, that
+	// was silently indistinguishable from a new user.
+	ColdStarts     atomic.Int64
+	DecodeFailures atomic.Int64
 }
 
 // NewPredictionService wires a model and store.
@@ -48,9 +56,12 @@ func (s *PredictionService) OnSessionStart(userID int, ts int64, cat []int) Deci
 	if raw, ok := s.store.Get(hiddenKey(userID)); ok {
 		if dec, t, ok2 := DecodeHidden(raw); ok2 && len(dec) == s.model.StateSize() {
 			h, lastTS = dec, t
+		} else {
+			s.DecodeFailures.Add(1)
 		}
 	}
 	if h == nil {
+		s.ColdStarts.Add(1)
 		h = s.model.InitialState()
 	}
 	var sinceK int64

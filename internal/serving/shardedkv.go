@@ -5,18 +5,23 @@ import (
 	"sync/atomic"
 )
 
-// Store is the key-value surface the serving tier depends on. Both the
-// single-mutex KVStore and the ShardedKVStore implement it, so the stream
-// processor and prediction service work against either.
+// Store is the key-value surface the serving tier depends on. The
+// single-mutex KVStore, the ShardedKVStore, and the durable
+// statestore.Store all implement it, so the stream processor and
+// prediction service work against any of them.
 //
 // Implementations must not retain the value slice passed to Put (copy it),
 // and Get must return a caller-owned copy: the finalisation hot path
 // reuses its encode buffer across Puts, so a retaining store would see
 // every state silently overwritten by the next session on the same lane.
+//
+// Keys exists for sweepers and restart checks (it snapshots the resident
+// keyset, in no particular order); it is not a hot-path operation.
 type Store interface {
 	Get(key string) ([]byte, bool)
 	Put(key string, value []byte)
 	Delete(key string)
+	Keys() []string
 	Stats() Stats
 }
 
@@ -48,6 +53,7 @@ type ShardedKVStore struct {
 
 	gets, puts, misses  atomic.Int64
 	bytesRead, bytesPut atomic.Int64
+	bytesStored         atomic.Int64
 }
 
 // NewShardedKVStore returns an empty store with the given shard count
@@ -69,6 +75,10 @@ func NewShardedKVStore(shards int) *ShardedKVStore {
 
 // NumShards returns the (power-of-two) shard count.
 func (s *ShardedKVStore) NumShards() int { return len(s.shards) }
+
+// KeyHash is the store keyspace hash (32-bit FNV-1a), exported so other
+// Store implementations (statestore) shard identically.
+func KeyHash(key string) uint32 { return fnv1a(key) }
 
 // fnv1a is the 32-bit FNV-1a hash of key, inlined to keep the hot path
 // allocation-free (hash/fnv forces the key through an io.Writer).
@@ -114,35 +124,57 @@ func (s *ShardedKVStore) Put(key string, value []byte) {
 	s.bytesPut.Add(int64(len(value)))
 	v := make([]byte, len(value))
 	copy(v, value)
+	delta := int64(len(key) + len(v))
 	sh := s.shard(key)
 	sh.mu.Lock()
+	if old, ok := sh.data[key]; ok {
+		delta -= int64(len(key) + len(old))
+	}
 	sh.data[key] = v
 	sh.mu.Unlock()
+	s.bytesStored.Add(delta)
 }
 
 // Delete removes a key.
 func (s *ShardedKVStore) Delete(key string) {
 	sh := s.shard(key)
 	sh.mu.Lock()
+	old, ok := sh.data[key]
 	delete(sh.data, key)
 	sh.mu.Unlock()
+	if ok {
+		s.bytesStored.Add(-int64(len(key) + len(old)))
+	}
 }
 
-// Stats returns the current counters and resident footprint. The per-shard
-// scans take each shard's read lock in turn, so the snapshot is per-shard
-// consistent (adequate for the cost accounting it feeds).
+// Keys snapshots the resident keyset (per-shard consistent, unordered).
+func (s *ShardedKVStore) Keys() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.data {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Stats returns the current counters and resident footprint. BytesStored
+// is maintained incrementally by Put/Delete, so Stats only touches each
+// shard for its key count — O(shards), not O(keys), which matters at
+// million-user populations.
 func (s *ShardedKVStore) Stats() Stats {
 	st := Stats{
 		Gets: s.gets.Load(), Puts: s.puts.Load(), Misses: s.misses.Load(),
 		BytesRead: s.bytesRead.Load(), BytesPut: s.bytesPut.Load(),
+		BytesStored: s.bytesStored.Load(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		st.Keys += len(sh.data)
-		for k, v := range sh.data {
-			st.BytesStored += int64(len(k) + len(v))
-		}
 		sh.mu.RUnlock()
 	}
 	return st

@@ -31,10 +31,10 @@ type timerEntry struct {
 
 type timerHeap []timerEntry
 
-func (h timerHeap) Len() int            { return len(h) }
-func (h timerHeap) Less(i, j int) bool  { return h[i].fireAt < h[j].fireAt }
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any) { *h = append(*h, x.(timerEntry)) }
+func (h timerHeap) Len() int           { return len(h) }
+func (h timerHeap) Less(i, j int) bool { return h[i].fireAt < h[j].fireAt }
+func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)        { *h = append(*h, x.(timerEntry)) }
 func (h *timerHeap) Pop() any {
 	old := *h
 	n := len(old)

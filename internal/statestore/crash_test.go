@@ -1,0 +1,208 @@
+package statestore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCrashRecoveryEveryTruncationBoundary is the crash-safety property
+// test: write N states without closing (a crash leaves no clean shutdown),
+// then for EVERY byte boundary of the last WAL record, truncate the log at
+// that point, reopen, and require (a) recovery succeeds, (b) every state
+// other than the torn one is byte-identical to what was written, and
+// (c) the torn record either survives whole (cut at the frame end) or is
+// dropped whole — never half-applied.
+func TestCrashRecoveryEveryTruncationBoundary(t *testing.T) {
+	const n = 20
+	const dim = 10
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, SnapshotEvery: 1 << 30}) // no snapshots: pure WAL
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{}
+	var lastKey string
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("h:%d", i)
+		v := wireState(dim, uint64(i)+1, int64(1000+i))
+		s.Put(k, v)
+		want[k] = append([]byte(nil), v...)
+		lastKey = k
+	}
+	// Simulated crash: abandon the store without Close (appends are
+	// unbuffered, so the file already holds every frame).
+	walPath := filepath.Join(dir, walName)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame size of the last record: header + key + tagged value + crc.
+	lastFrame := recordHeaderLen + len(lastKey) + (1 + len(want[lastKey])) + recordTrailerLen
+	lastOff := len(full) - lastFrame
+	if lastOff < 0 {
+		t.Fatalf("frame arithmetic wrong: wal %dB, last frame %dB", len(full), lastFrame)
+	}
+
+	for cut := lastOff; cut <= len(full); cut++ {
+		cutDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cutDir, walName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(Options{Dir: cutDir})
+		if err != nil {
+			t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+		}
+		wantTorn := cut < len(full)
+		ls := r.Lifecycle()
+		if wantTorn && ls.TornTailBytes != int64(cut-lastOff) {
+			t.Fatalf("cut=%d: torn tail %dB, want %dB", cut, ls.TornTailBytes, cut-lastOff)
+		}
+		for k, v := range want {
+			got, ok := r.Get(k)
+			if k == lastKey && wantTorn {
+				if ok {
+					t.Fatalf("cut=%d: torn record half-applied", cut)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("cut=%d: surviving state %s lost", cut, k)
+			}
+			if !bytes.Equal(got, v) {
+				t.Fatalf("cut=%d: state %s not byte-identical", cut, k)
+			}
+		}
+		// The truncated log must accept appends cleanly after recovery.
+		r.Put("h:post", wireState(dim, 99, 5000))
+		if err := r.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+		r2, err := Open(Options{Dir: cutDir})
+		if err != nil {
+			t.Fatalf("cut=%d: second recovery: %v", cut, err)
+		}
+		if _, ok := r2.Get("h:post"); !ok {
+			t.Fatalf("cut=%d: post-recovery append lost", cut)
+		}
+		r2.Close()
+	}
+}
+
+// TestCrashDuringSnapshotRotation covers the three crash windows of the
+// snapshot protocol: after rotation but before the snapshot lands (wal.old
+// + wal both present), and after the snapshot rename but before wal.old is
+// retired (snapshot + stale wal.old + wal). Both must recover to the full
+// pre-crash state.
+func TestCrashDuringSnapshotRotation(t *testing.T) {
+	build := func(t *testing.T) (dir string, want map[string][]byte) {
+		dir = t.TempDir()
+		s, err := Open(Options{Dir: dir, SnapshotEvery: 1 << 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = map[string][]byte{}
+		for i := 0; i < 12; i++ {
+			k := fmt.Sprintf("h:%d", i)
+			v := wireState(6, uint64(i)+1, int64(100+i))
+			s.Put(k, v)
+			want[k] = append([]byte(nil), v...)
+		}
+		// Crash: no Close.
+		return dir, want
+	}
+	verify := func(t *testing.T, dir string, want map[string][]byte) {
+		t.Helper()
+		r, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		for k, v := range want {
+			got, ok := r.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				t.Fatalf("state %s wrong after rotation crash", k)
+			}
+		}
+		if got := len(r.Keys()); got != len(want) {
+			t.Fatalf("keys: %d, want %d", got, len(want))
+		}
+	}
+
+	t.Run("before-snapshot-lands", func(t *testing.T) {
+		dir, want := build(t)
+		// Crash window: WAL was rotated, snapshot never written.
+		if err := os.Rename(filepath.Join(dir, walName), filepath.Join(dir, walOldName)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walName), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		verify(t, dir, want)
+	})
+	t.Run("double-crash-after-interrupted-snapshot", func(t *testing.T) {
+		dir, want := build(t)
+		// Crash window 1: rotation done, snapshot never written.
+		if err := os.Rename(filepath.Join(dir, walName), filepath.Join(dir, walOldName)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walName), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Recovery must compact the leftover wal.old.log away: if it
+		// survives, the next rotation would rename the fresh log over it
+		// and destroy records that exist nowhere else.
+		r1, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fileExists(filepath.Join(dir, walOldName)) {
+			t.Fatal("wal.old.log not compacted at Open")
+		}
+		if r1.Lifecycle().Snapshots == 0 {
+			t.Fatal("compaction snapshot not recorded")
+		}
+		extra := wireState(6, 77, 999)
+		r1.Put("h:extra", extra)
+		// Crash window 2: no Close. Everything — the compacted state and
+		// the post-recovery put — must survive a second recovery.
+		r2, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r2.Close()
+		for k, v := range want {
+			got, ok := r2.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				t.Fatalf("state %s lost across double crash", k)
+			}
+		}
+		if got, ok := r2.Get("h:extra"); !ok || !bytes.Equal(got, extra) {
+			t.Fatal("post-recovery put lost across second crash")
+		}
+	})
+	t.Run("before-old-wal-retired", func(t *testing.T) {
+		dir, want := build(t)
+		// Run a real snapshot, then resurrect wal.old as if the final
+		// remove never happened: its records are all contained in the
+		// snapshot, so replay must be idempotent.
+		s, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.snapshot()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		src, err := os.ReadFile(filepath.Join(dir, snapName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walOldName), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		verify(t, dir, want)
+	})
+}

@@ -1,0 +1,294 @@
+package statestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Durability layout (single-process, like the Redis analogue it models):
+//
+//	<dir>/wal.log      append-only log of puts/deletes since the last snapshot
+//	<dir>/wal.old.log  the pre-rotation log, alive only while a snapshot is
+//	                   being written (or after a crash mid-snapshot)
+//	<dir>/state.snap   the last completed snapshot (written to a tmp file and
+//	                   renamed into place, so it is always complete)
+//
+// Every record — in the WAL and the snapshot alike — is CRC-framed:
+//
+//	[1B op][4B keyLen][4B valLen][key][value][4B crc32/IEEE of all prior bytes]
+//
+// Values are stored in the tagged codec representation, so the log is
+// self-describing across codec changes. Recovery loads state.snap, replays
+// wal.old.log, then replays wal.log; replay is idempotent (records carry
+// absolute values), which is what makes the rotation protocol crash-safe at
+// every step. A torn tail — a crash mid-append — is detected by the CRC (or
+// a short frame) and truncated away; every complete record survives.
+
+const (
+	opPut    byte = 1
+	opDelete byte = 2
+
+	walName     = "wal.log"
+	walOldName  = "wal.old.log"
+	snapName    = "state.snap"
+	snapTmpName = "state.snap.tmp"
+
+	recordHeaderLen  = 9 // op + keyLen + valLen
+	recordTrailerLen = 4 // crc32
+)
+
+// errTorn marks a record cut short by a crash; replay treats it as
+// end-of-log rather than corruption.
+var errTorn = errors.New("statestore: torn record")
+
+// appendRecord frames one record into buf[:0] and returns the frame.
+func appendRecord(buf []byte, op byte, key string, val []byte) []byte {
+	need := recordHeaderLen + len(key) + len(val) + recordTrailerLen
+	if cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	buf = buf[:need]
+	buf[0] = op
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[5:], uint32(len(val)))
+	copy(buf[recordHeaderLen:], key)
+	copy(buf[recordHeaderLen+len(key):], val)
+	crc := crc32.ChecksumIEEE(buf[:need-recordTrailerLen])
+	binary.LittleEndian.PutUint32(buf[need-recordTrailerLen:], crc)
+	return buf
+}
+
+// parseRecord reads one record from data, returning the consumed frame
+// size. It returns errTorn when data holds only a prefix of a record and a
+// hard error on a CRC mismatch (bit rot rather than a crash).
+func parseRecord(data []byte) (op byte, key string, val []byte, frame int, err error) {
+	if len(data) < recordHeaderLen {
+		return 0, "", nil, 0, errTorn
+	}
+	op = data[0]
+	kl := int(binary.LittleEndian.Uint32(data[1:]))
+	vl := int(binary.LittleEndian.Uint32(data[5:]))
+	if op != opPut && op != opDelete {
+		return 0, "", nil, 0, fmt.Errorf("statestore: bad op %d", op)
+	}
+	frame = recordHeaderLen + kl + vl + recordTrailerLen
+	if kl < 0 || vl < 0 || frame < recordHeaderLen || len(data) < frame {
+		return 0, "", nil, 0, errTorn
+	}
+	want := binary.LittleEndian.Uint32(data[frame-recordTrailerLen:])
+	if crc32.ChecksumIEEE(data[:frame-recordTrailerLen]) != want {
+		return 0, "", nil, 0, fmt.Errorf("statestore: crc mismatch")
+	}
+	key = string(data[recordHeaderLen : recordHeaderLen+kl])
+	val = data[recordHeaderLen+kl : recordHeaderLen+kl+vl]
+	return op, key, val, frame, nil
+}
+
+// wal is the append side of the log. All methods are called under the
+// store's walMu.
+type wal struct {
+	dir  string
+	f    *os.File
+	buf  []byte // reusable frame buffer (the hot path allocates nothing)
+	size int64
+
+	records int64
+	bytes   int64
+
+	// failed latches after a write error: the failing write may have left
+	// a torn frame, and appending more records after it would turn a
+	// recoverable torn tail into unrecoverable mid-log corruption. Once
+	// set, the log is frozen at its last good prefix.
+	failed bool
+}
+
+func openWAL(dir string) (*wal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{dir: dir, f: f, size: st.Size()}, nil
+}
+
+func (w *wal) append(op byte, key string, val []byte) error {
+	if w.failed {
+		return nil // already reported; keep the torn tail at the tail
+	}
+	w.buf = appendRecord(w.buf, op, key, val)
+	n, err := w.f.Write(w.buf)
+	w.size += int64(n)
+	w.records++
+	w.bytes += int64(n)
+	if err != nil {
+		w.failed = true
+	}
+	return err
+}
+
+// appendDeletes frames a batch of delete records into one buffer and
+// issues a single write — mass evictions log one syscall per shard, not
+// one per key (the caller holds the shard lock throughout).
+func (w *wal) appendDeletes(keys []string) error {
+	if w.failed || len(keys) == 0 {
+		return nil
+	}
+	frames := w.buf[:0]
+	var frame []byte
+	for _, k := range keys {
+		frame = appendRecord(frame, opDelete, k, nil)
+		frames = append(frames, frame...)
+	}
+	w.buf = frames
+	n, err := w.f.Write(frames)
+	w.size += int64(n)
+	w.records += int64(len(keys))
+	w.bytes += int64(n)
+	if err != nil {
+		w.failed = true
+	}
+	return err
+}
+
+// rotate moves the live log aside for an imminent snapshot and starts a
+// fresh one. Called under walMu. It refuses to clobber an existing
+// wal.old.log: that file only survives a failed or crashed snapshot, and
+// renaming over it would destroy records that exist nowhere else (Open
+// compacts it away, so this is pure defence in depth).
+func (w *wal) rotate() error {
+	if _, err := os.Stat(filepath.Join(w.dir, walOldName)); err == nil {
+		return fmt.Errorf("statestore: %s still present, refusing rotation", walOldName)
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(filepath.Join(w.dir, walName), filepath.Join(w.dir, walOldName)); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.size = 0
+	return nil
+}
+
+func (w *wal) close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayFile feeds every complete record of path to apply, in order. A torn
+// tail is tolerated and truncated in place (so subsequent appends continue
+// from the last good frame); any other corruption is a hard error. Returns
+// the number of records applied and the bytes discarded from the tail.
+// A missing file replays as empty.
+func replayFile(path string, apply func(op byte, key string, val []byte)) (records int, torn int64, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	off := 0
+	for off < len(data) {
+		op, key, val, frame, perr := parseRecord(data[off:])
+		if perr != nil {
+			if errors.Is(perr, errTorn) {
+				break
+			}
+			return records, 0, fmt.Errorf("%s@%d: %w", filepath.Base(path), off, perr)
+		}
+		apply(op, key, val)
+		off += frame
+		records++
+	}
+	if off < len(data) {
+		torn = int64(len(data) - off)
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return records, torn, err
+		}
+	}
+	return records, torn, nil
+}
+
+// writeSnapshot streams every resident entry to a tmp file and renames it
+// into place, then retires the pre-rotation log. The caller guarantees the
+// WAL was rotated before any shard is scanned (see Store.snapshot for why
+// that ordering is crash-safe).
+func writeSnapshot(dir string, scan func(emit func(key string, val []byte) error) error) error {
+	tmp := filepath.Join(dir, snapTmpName)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var buf []byte
+	err = scan(func(key string, val []byte) error {
+		buf = appendRecord(buf, opPut, key, val)
+		_, werr := bw.Write(buf)
+		return werr
+	})
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName)); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(dir, walOldName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// loadSnapshot feeds every snapshot record to apply. Snapshots are written
+// atomically, so a torn record here is real corruption, not a crash.
+func loadSnapshot(dir string, apply func(key string, val []byte)) (records int, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	off := 0
+	for off < len(data) {
+		op, key, val, frame, perr := parseRecord(data[off:])
+		if perr != nil {
+			return records, fmt.Errorf("statestore: corrupt snapshot at %d: %w", off, perr)
+		}
+		if op == opPut {
+			apply(key, val)
+		}
+		off += frame
+		records++
+	}
+	return records, nil
+}
