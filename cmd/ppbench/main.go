@@ -1,11 +1,14 @@
 // Command ppbench regenerates the paper's tables and figures
-// (see DESIGN.md's per-experiment index).
+// (see DESIGN.md's per-experiment index), and runs the tracked
+// machine-readable benchmark suites.
 //
 // Usage:
 //
 //	ppbench -exp all                 # every experiment, default scale
 //	ppbench -exp table3 -scale quick # one experiment, reduced scale
 //	ppbench -list
+//	ppbench -bench serving -bench-out BENCH_serving.json
+//	ppbench -bench serving -scale quick   # CI short mode
 package main
 
 import (
@@ -20,11 +23,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all' (see -list)")
-		scale   = flag.String("scale", "default", "quick | default")
-		users   = flag.Int("users", 0, "override MobileTab/Timeshift user count")
-		verbose = flag.Bool("v", false, "log training progress")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "all", "experiment id or 'all' (see -list)")
+		scale    = flag.String("scale", "default", "quick | default")
+		users    = flag.Int("users", 0, "override MobileTab/Timeshift user count")
+		verbose  = flag.Bool("v", false, "log training progress")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		bench    = flag.String("bench", "", "run a tracked benchmark suite instead of experiments (serving)")
+		benchOut = flag.String("bench-out", "BENCH_serving.json", "JSON output path for -bench")
 	)
 	flag.Parse()
 
@@ -32,6 +37,22 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		return
+	}
+
+	if *bench != "" {
+		if *bench != "serving" {
+			fmt.Fprintf(os.Stderr, "ppbench: unknown bench suite %q (have: serving)\n", *bench)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		suite := experiments.RunServingBench(*scale == "quick")
+		fmt.Println(suite.Render())
+		if err := suite.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: writing %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%v)\n", *benchOut, time.Since(t0).Round(time.Second))
 		return
 	}
 

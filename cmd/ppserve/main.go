@@ -25,6 +25,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -38,14 +41,18 @@ import (
 
 func main() {
 	var (
-		users     = flag.Int("users", 400, "cohort size")
-		epochs    = flag.Int("epochs", 3, "RNN training epochs")
-		hidden    = flag.Int("hidden", 32, "hidden dimensionality")
-		threshold = flag.Float64("threshold", 0, "precompute threshold (0 = derive from 60% precision target)")
-		seed      = flag.Uint64("seed", 1, "seed")
-		workers   = flag.Int("workers", 1, "serving concurrency (1 = sequential compatibility path)")
-		batch     = flag.Int("batch", 1, "prediction micro-batch size when workers > 1 (1 = lock-step parity with the sequential path; use >1, e.g. 64, for throughput)")
-		shards    = flag.Int("shards", serving.DefaultShards, "KV store shard count (used when workers > 1)")
+		users      = flag.Int("users", 400, "cohort size")
+		epochs     = flag.Int("epochs", 3, "RNN training epochs")
+		hidden     = flag.Int("hidden", 32, "hidden dimensionality")
+		threshold  = flag.Float64("threshold", 0, "precompute threshold (0 = derive from 60% precision target)")
+		seed       = flag.Uint64("seed", 1, "seed")
+		workers    = flag.Int("workers", 1, "serving concurrency (1 = sequential compatibility path)")
+		batch      = flag.Int("batch", 1, "prediction micro-batch size when workers > 1 (1 = lock-step parity with the sequential path; use >1, e.g. 64, for throughput)")
+		shards     = flag.Int("shards", serving.DefaultShards, "KV store shard count (used when workers > 1)")
+		inferBatch = flag.Int("infer-batch", 1, "session-finalisation batch size: due sessions are advanced through the batched GEMM cell in groups of up to this size (states stay byte-identical to 1)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+		memprofile = flag.String("memprofile", "", "write a post-replay heap profile to this file")
 
 		persist      = flag.String("persist", "", "statestore durability directory (WAL + snapshots); empty = volatile")
 		evictAfter   = flag.Duration("evict-after", 0, "idle eviction horizon in virtual time (0 = never evict)")
@@ -161,7 +168,7 @@ func main() {
 					fmt.Printf("state store: %d-shard in-memory KV\n", sh.NumShards())
 				}
 			}
-			proc := serving.NewParallelStreamProcessor(model, st.store, *workers)
+			proc := serving.NewParallelStreamProcessorBatch(model, st.store, *workers, *inferBatch)
 			// Advance+Sync preserves the sequential path's read-your-writes
 			// semantics at every prediction point.
 			st.advance = func(ts int64) { proc.Advance(ts); proc.Sync() }
@@ -171,7 +178,8 @@ func main() {
 			st.updatesRun = proc.UpdatesRun
 			st.pendingLeft = proc.Pending
 			if announce {
-				fmt.Printf("serving stack: %d worker lanes, batch %d\n", proc.Workers(), maxInt(*batch, 1))
+				fmt.Printf("serving stack: %d worker lanes, batch %d, infer-batch %d\n",
+					proc.Workers(), maxInt(*batch, 1), maxInt(*inferBatch, 1))
 			}
 		} else {
 			if st.store == nil {
@@ -181,6 +189,7 @@ func main() {
 				}
 			}
 			proc := serving.NewStreamProcessor(model, st.store)
+			proc.SetInferBatch(*inferBatch)
 			st.advance = proc.Advance
 			st.onSession = proc.OnSessionStart
 			st.onAccess = proc.OnAccess
@@ -188,7 +197,11 @@ func main() {
 			st.updatesRun = func() int64 { return proc.UpdatesRun }
 			st.pendingLeft = proc.Pending
 			if announce {
-				fmt.Println("serving stack: sequential (in-line updates)")
+				if *inferBatch > 1 {
+					fmt.Printf("serving stack: sequential, infer-batch %d\n", *inferBatch)
+				} else {
+					fmt.Println("serving stack: sequential (in-line updates)")
+				}
 			}
 		}
 		st.svc = serving.NewPredictionService(model, st.store, thr)
@@ -239,6 +252,21 @@ func main() {
 	restartAt := -1
 	if *restartAfter > 0 && *restartAfter < 1 {
 		restartAt = int(float64(len(evs)) * *restartAfter)
+	}
+
+	// Profiles cover the replay only — training noise would drown the
+	// serving hot path future perf PRs need evidence about.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Printf("ppserve: -cpuprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Printf("ppserve: starting CPU profile: %v\n", err)
+			return
+		}
 	}
 
 	t0 := time.Now()
@@ -299,6 +327,24 @@ func main() {
 	pending := cur.pendingLeft
 	retire(cur)
 	elapsed := time.Since(t0)
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("wrote CPU profile to %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Printf("ppserve: -memprofile: %v\n", err)
+			return
+		}
+		runtime.GC() // materialise the live set before the heap snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Printf("ppserve: writing heap profile: %v\n", err)
+		}
+		f.Close()
+		fmt.Printf("wrote heap profile to %s\n", *memprofile)
+	}
 
 	fmt.Printf("\nreplayed %d sessions for %d users in %s (%.0f sessions/s)\n",
 		len(evs), len(split.Test.Users), elapsed.Round(time.Millisecond),

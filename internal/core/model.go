@@ -253,6 +253,44 @@ func (m *Model) UpdateStateInto(dst, state, updateInput, scratch tensor.Vector) 
 	copy(dst, next)
 }
 
+// SupportsBatchUpdate reports whether the recurrent cell has a batched
+// GEMM inference path (nn.BatchInferenceCell). Without it,
+// UpdateStatesInto falls back to row-by-row updates, losing only the
+// weight-reuse speedup.
+func (m *Model) SupportsBatchUpdate() bool {
+	_, ok := m.cell.(nn.BatchInferenceCell)
+	return ok
+}
+
+// BatchUpdateScratchSize returns the arena demand (float64s) of one
+// UpdateStatesInto call at batch size B, so callers can presize their
+// arenas and keep the batched hot path allocation-free from the first
+// call.
+func (m *Model) BatchUpdateScratchSize(B int) int {
+	if bc, ok := m.cell.(nn.BatchInferenceCell); ok {
+		return bc.BatchScratchSize(B)
+	}
+	return m.UpdateScratchSize()
+}
+
+// UpdateStatesInto is the batched UpdateStateInto: it advances the B
+// packed session states in the rows of states by the update inputs in the
+// rows of xs, writing row-aligned results into dst (all matrices B ×
+// StateSize / UpdateDim). Intermediates come from arena; the caller resets
+// it between batches. Row b of dst is bit-identical to UpdateStateInto on
+// row b — the serving tier's batched finaliser depends on that to keep
+// stored states byte-identical to the sequential path.
+func (m *Model) UpdateStatesInto(dst, states, xs *tensor.Matrix, arena *tensor.Arena) {
+	if bc, ok := m.cell.(nn.BatchInferenceCell); ok {
+		bc.StepInferBatch(dst, states, xs, arena)
+		return
+	}
+	scratch := arena.Vector(m.UpdateScratchSize())
+	for b := 0; b < xs.Rows; b++ {
+		m.UpdateStateInto(dst.Row(b), states.Row(b), xs.Row(b), scratch)
+	}
+}
+
 // predCache holds the intermediates of one training-time prediction for
 // backprop.
 type predCache struct {

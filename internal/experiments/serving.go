@@ -130,8 +130,21 @@ func (l *Lab) Parallelism() *Report {
 		p.Flush()
 		return time.Since(t0)
 	}
-	replayPar := func(workers int) time.Duration {
-		p := serving.NewParallelStreamProcessor(m, serving.NewShardedKVStore(0), workers)
+	replaySeqBatched := func(batch int) time.Duration {
+		p := serving.NewStreamProcessor(m, serving.NewKVStore())
+		p.SetInferBatch(batch)
+		t0 := time.Now()
+		for _, e := range evs {
+			p.OnSessionStart(e.sid, e.user, e.ts, e.cat)
+			if e.access {
+				p.OnAccess(e.sid, e.ts+30)
+			}
+		}
+		p.Flush()
+		return time.Since(t0)
+	}
+	replayPar := func(workers, batch int) time.Duration {
+		p := serving.NewParallelStreamProcessorBatch(m, serving.NewShardedKVStore(0), workers, batch)
 		t0 := time.Now()
 		for _, e := range evs {
 			p.OnSessionStart(e.sid, e.user, e.ts, e.cat)
@@ -157,8 +170,14 @@ func (l *Lab) Parallelism() *Report {
 		})
 	}
 	row("stream sequential", base)
+	for _, bsz := range []int{8, 32} {
+		row(fmt.Sprintf("stream sequential batch-%d", bsz), replaySeqBatched(bsz))
+	}
 	for _, w := range []int{1, 4, 8} {
-		row(fmt.Sprintf("stream %d-lane", w), replayPar(w))
+		row(fmt.Sprintf("stream %d-lane", w), replayPar(w, 1))
+	}
+	for _, w := range []int{4, 8} {
+		row(fmt.Sprintf("stream %d-lane batch-32", w), replayPar(w, 32))
 	}
 
 	// Batched session-startup predictions over a warmed store.

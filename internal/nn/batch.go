@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchInferenceCell is implemented by cells that can advance many hidden
+// states in one call. The serving tier's batch finaliser packs the inputs
+// [x_1 … x_B] and states [h_1 … h_B] of B due sessions into row-major
+// panels (row b = session b, i.e. column b of the math-view column-major
+// panel) and computes all gate pre-activations as two GEMMs per step, so
+// the 3h×d weight matrices are streamed from memory once per batch instead
+// of once per session.
+type BatchInferenceCell interface {
+	// StepInferBatch writes the next states into dst (B × StateSize), given
+	// states (B × StateSize) and inputs xs (B × InputSize), allocating any
+	// intermediates from arena (which the caller resets between batches —
+	// panels already carved from the same arena remain valid). Row b of dst
+	// must be bit-identical to the sequential path (StepInfer, and
+	// therefore Step) on row b of states/xs. dst must not alias states or
+	// xs.
+	StepInferBatch(dst, states, xs *tensor.Matrix, arena *tensor.Arena)
+	// BatchScratchSize returns the arena demand (float64s) of one
+	// StepInferBatch call at batch size B, so callers can presize the
+	// arena and keep the steady state allocation-free from the first
+	// batch.
+	BatchScratchSize(B int) int
+}
+
+// BatchScratchSize returns the gate-panel demand of StepInferBatch.
+func (c *GRUCell) BatchScratchSize(B int) int { return 6 * c.hidden * B }
+
+// StepInferBatch advances B GRU states in one call: the gate
+// pre-activation panels Gi and Gh come from the batched products
+// Xs·Wihᵀ and Hs·Whhᵀ, and the per-row gate math then mirrors StepInfer
+// expression for expression. The GEMM kernels accumulate each element in
+// the same strict k-order as MulVec, so the resulting states are
+// bit-identical to the per-session path (pinned by
+// TestGRUStepInferBatchMatchesStepInfer and the serving equivalence
+// tests).
+func (c *GRUCell) StepInferBatch(dst, states, xs *tensor.Matrix, arena *tensor.Arena) {
+	h := c.hidden
+	B := xs.Rows
+	gi := arena.Matrix(B, 3*h)
+	gh := arena.Matrix(B, 3*h)
+	// Weight views are built inline: Param.Matrix is not inlinable (its
+	// panic path formats), so its header would escape — one heap hit per
+	// batch that the zero-alloc contract of this path forbids.
+	wih := tensor.Matrix{Rows: 3 * h, Cols: c.in, Data: c.Wih.Value}
+	whh := tensor.Matrix{Rows: 3 * h, Cols: h, Data: c.Whh.Value}
+	// The input side is routed by panel density: session update inputs are
+	// mostly one-hot (≈6 nonzeros in a ~300-dim MobileTab input), where the
+	// sparse matrix-vector path does ~50× less work than a dense GEMM.
+	// Dense panels — e.g. a stacked upper layer fed by the hidden outputs
+	// below — take the GEMM and its weight-reuse win. Both routes are
+	// bit-identical (±0 terms never move an IEEE-754 running sum).
+	if xs.MostlySparse() {
+		for b := 0; b < B; b++ {
+			wih.MulVec(gi.Row(b), xs.Row(b))
+		}
+	} else {
+		xs.MulMatT(gi, &wih)
+	}
+	// The recurrent side is dense after the first step — this GEMM is the
+	// batching win: Whh is streamed once per batch instead of once per row.
+	states.MulMatT(gh, &whh)
+	bih, bhh := c.Bih.Value, c.Bhh.Value
+	for b := 0; b < B; b++ {
+		gib, ghb := gi.Row(b), gh.Row(b)
+		gib.Add(bih)
+		ghb.Add(bhh)
+		st, db := states.Row(b), dst.Row(b)
+		for i := 0; i < h; i++ {
+			r := Sigmoid(gib[i] + ghb[i])
+			z := Sigmoid(gib[h+i] + ghb[h+i])
+			q := ghb[2*h+i]
+			n := math.Tanh(gib[2*h+i] + r*q)
+			db[i] = (1-z)*n + z*st[i]
+		}
+	}
+}
+
+// BatchScratchSize sums the per-layer panel demand of the stacked batched
+// step: each layer gathers/scatters B×StateSize panels, batched layers add
+// their own scratch, and narrower-than-state hidden outputs need a hand-off
+// panel.
+func (s *StackedCell) BatchScratchSize(B int) int {
+	n := 0
+	for i, l := range s.layers {
+		n += 2 * l.StateSize() * B
+		if bl, ok := l.(BatchInferenceCell); ok {
+			n += bl.BatchScratchSize(B)
+		}
+		if i < len(s.layers)-1 && l.HiddenSize() != l.StateSize() {
+			n += l.HiddenSize() * B
+		}
+	}
+	return n
+}
+
+// StepInferBatch advances B packed stacked states: each layer's state
+// columns are gathered into a contiguous panel, advanced through the
+// layer's batched path (or row-by-row Step for cells without one, which is
+// exactly what the sequential stacked path runs), and scattered back. The
+// hidden prefix of each layer's new state feeds the layer above, mirroring
+// StackedCell.Step.
+func (s *StackedCell) StepInferBatch(dst, states, xs *tensor.Matrix, arena *tensor.Arena) {
+	B := xs.Rows
+	in := xs
+	for i, l := range s.layers {
+		size := l.StateSize()
+		ls := arena.Matrix(B, size)
+		ld := arena.Matrix(B, size)
+		for b := 0; b < B; b++ {
+			copy(ls.Row(b), s.layerState(states.Row(b), i))
+		}
+		if bl, ok := l.(BatchInferenceCell); ok {
+			bl.StepInferBatch(ld, ls, in, arena)
+		} else {
+			for b := 0; b < B; b++ {
+				next, _ := l.Step(ls.Row(b), in.Row(b))
+				copy(ld.Row(b), next)
+			}
+		}
+		for b := 0; b < B; b++ {
+			copy(s.layerState(dst.Row(b), i), ld.Row(b))
+		}
+		if i < len(s.layers)-1 {
+			if hs := l.HiddenSize(); hs == size {
+				in = ld
+			} else {
+				hin := arena.Matrix(B, hs)
+				for b := 0; b < B; b++ {
+					copy(hin.Row(b), ld.Row(b)[:hs])
+				}
+				in = hin
+			}
+		}
+	}
+}

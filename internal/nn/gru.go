@@ -93,9 +93,14 @@ func (c *GRUCell) StepInfer(dst, state, x, scratch tensor.Vector) {
 	h := c.hidden
 	gi := scratch[:3*h]
 	gh := scratch[3*h : 6*h]
-	c.Wih.Matrix().MulVec(gi, x)
+	// Inline weight views keep this path allocation-free (Param.Matrix's
+	// returned header escapes — see StepInferBatch), and the hidden input
+	// is dense after the first step, so its sparsity scan is skipped.
+	wih := tensor.Matrix{Rows: 3 * h, Cols: c.in, Data: c.Wih.Value}
+	whh := tensor.Matrix{Rows: 3 * h, Cols: h, Data: c.Whh.Value}
+	wih.MulVec(gi, x)
 	gi.Add(c.Bih.Value)
-	c.Whh.Matrix().MulVec(gh, state)
+	whh.MulVecDense(gh, state)
 	gh.Add(c.Bhh.Value)
 	for i := 0; i < h; i++ {
 		r := Sigmoid(gi[i] + gh[i])

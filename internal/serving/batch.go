@@ -1,0 +1,122 @@
+package serving
+
+import (
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Batched session finalisation: instead of advancing one GRU per due
+// session (2 matrix-vector products each, re-streaming the 3h×d weight
+// matrices from memory every time), due sessions are drained in groups and
+// advanced through the batched cell — two GEMMs per wave, weights read
+// once per wave.
+//
+// Correctness hinges on per-user update order (the only order RNNupdate
+// depends on): a drained group may hold several sessions of the same user,
+// so the group is partitioned into "waves" by per-user step depth — a
+// user's k-th session in the group lands in wave k — and the waves run
+// sequentially. Within a wave every row belongs to a distinct user, so the
+// wave's reads all precede its writes safely, and stored states stay
+// byte-identical to the sequential per-session path (pinned by
+// TestBatchedFinalisationMatchesSequential).
+
+// batchScratch holds the reusable buffers of the batched finalisation hot
+// path — one per sequential processor or per worker lane, like
+// updateScratch.
+type batchScratch struct {
+	scalar *updateScratch // singleton waves take the scalar path
+	arena  *tensor.Arena
+	enc    []byte
+	// seen counts sessions per user within the current group; wave holds
+	// each buffer's assigned wave; rows indexes the current wave's buffers;
+	// keys holds the current wave's KV keys (built once, used for Get and
+	// Put).
+	seen map[int]int
+	wave []int
+	rows []int
+	keys []string
+}
+
+// newBatchScratch sizes the arena for the worst-case wave (maxBatch rows
+// of state/input/next panels plus the cell's gate panels) so the batched
+// path never allocates after construction.
+func newBatchScratch(m *core.Model, maxBatch int) *batchScratch {
+	panel := maxBatch * (2*m.StateSize() + m.UpdateDim())
+	return &batchScratch{
+		scalar: newUpdateScratch(m),
+		arena:  tensor.NewArena(panel + m.BatchUpdateScratchSize(maxBatch)),
+		seen:   make(map[int]int),
+		keys:   make([]string, 0, maxBatch),
+	}
+}
+
+// applySessionUpdateBatch finalises a group of due sessions through the
+// batched cell, preserving per-user order via wave partitioning. The group
+// must be in finalisation (timer) order.
+func applySessionUpdateBatch(model *core.Model, store Store, bufs []*sessionBuffer, bs *batchScratch) {
+	if len(bufs) == 1 {
+		applySessionUpdate(model, store, bufs[0], bs.scalar)
+		return
+	}
+	clear(bs.seen)
+	bs.wave = bs.wave[:0]
+	maxWave := 0
+	for _, b := range bufs {
+		w := bs.seen[b.userID]
+		bs.seen[b.userID] = w + 1
+		bs.wave = append(bs.wave, w)
+		if w > maxWave {
+			maxWave = w
+		}
+	}
+	for w := 0; w <= maxWave; w++ {
+		bs.rows = bs.rows[:0]
+		for i, bw := range bs.wave {
+			if bw == w {
+				bs.rows = append(bs.rows, i)
+			}
+		}
+		bs.applyWave(model, store, bufs)
+	}
+}
+
+// applyWave runs one wave (bs.rows) of the group: gather states and inputs
+// into panels, one batched cell advance, scatter the results back to the
+// store. Get/Put counts per session match the scalar path exactly.
+func (bs *batchScratch) applyWave(model *core.Model, store Store, bufs []*sessionBuffer) {
+	if len(bs.rows) == 1 {
+		applySessionUpdate(model, store, bufs[bs.rows[0]], bs.scalar)
+		return
+	}
+	w := len(bs.rows)
+	bs.arena.Reset()
+	states := bs.arena.Matrix(w, model.StateSize())
+	xs := bs.arena.Matrix(w, model.UpdateDim())
+	next := bs.arena.Matrix(w, model.StateSize())
+	bs.keys = bs.keys[:0]
+	for r, bi := range bs.rows {
+		buf := bufs[bi]
+		bs.keys = append(bs.keys, hiddenKey(buf.userID))
+		row := states.Row(r)
+		var lastTS int64
+		decoded := false
+		if raw, found := store.Get(bs.keys[r]); found {
+			lastTS, decoded = DecodeHiddenInto(raw, row)
+		}
+		if !decoded {
+			row.Zero() // h_0 (§6.1)
+			lastTS = 0
+		}
+		var dt int64
+		if lastTS != 0 {
+			dt = buf.start - lastTS
+		}
+		model.BuildUpdateInput(buf.start, buf.cat, buf.accessed, dt, xs.Row(r))
+	}
+	model.UpdateStatesInto(next, states, xs, bs.arena)
+	for r, bi := range bs.rows {
+		buf := bufs[bi]
+		bs.enc = EncodeHiddenInto(bs.enc, next.Row(r), buf.start)
+		store.Put(bs.keys[r], bs.enc)
+	}
+}

@@ -1,0 +1,210 @@
+package serving
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// replayScalar replays evs through a sequential per-session processor and
+// returns its store — the reference every batched variant must match byte
+// for byte.
+func replayScalar(m *core.Model, evs []replayEvent) *KVStore {
+	store := NewKVStore()
+	p := NewStreamProcessor(m, store)
+	for _, e := range evs {
+		p.OnSessionStart(e.sid, e.userID, e.ts, e.cat)
+		if e.access {
+			p.OnAccess(e.sid, e.ts+30)
+		}
+	}
+	p.Flush()
+	return store
+}
+
+func requireSameStates(t *testing.T, name string, users int, want *KVStore, got Store) {
+	t.Helper()
+	for u := 0; u < users; u++ {
+		a, okA := want.Get(hiddenKey(u))
+		b, okB := got.Get(hiddenKey(u))
+		if !okA || !okB {
+			t.Fatalf("%s: user %d: missing state (scalar %v, batched %v)", name, u, okA, okB)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: user %d: batched hidden state differs from scalar", name, u)
+		}
+	}
+}
+
+// TestBatchedFinalisationMatchesSequential is the batched analogue of
+// TestParallelMatchesSequential: the sequential batched drain and the
+// parallel batched worker drain must both store byte-identical hidden
+// states to the per-session path, across batch sizes around the group and
+// tile edges.
+func TestBatchedFinalisationMatchesSequential(t *testing.T) {
+	m := testModel()
+	const users = 24
+	evs := syntheticLog(users, 6)
+	want := replayScalar(m, evs)
+
+	for _, batch := range []int{2, 7, 16, 64} {
+		store := NewKVStore()
+		p := NewStreamProcessor(m, store)
+		p.SetInferBatch(batch)
+		for _, e := range evs {
+			p.OnSessionStart(e.sid, e.userID, e.ts, e.cat)
+			if e.access {
+				p.OnAccess(e.sid, e.ts+30)
+			}
+		}
+		p.Flush()
+		if p.UpdatesRun != int64(len(evs)) {
+			t.Fatalf("batch %d: UpdatesRun %d, want %d", batch, p.UpdatesRun, len(evs))
+		}
+		if st := store.Stats(); st.Gets != int64(len(evs)) || st.Puts != int64(len(evs)) {
+			t.Fatalf("batch %d: store traffic %d gets / %d puts, want %d each", batch, st.Gets, st.Puts, len(evs))
+		}
+		requireSameStates(t, fmt.Sprintf("sequential batch %d", batch), users, want, store)
+
+		parStore := NewShardedKVStore(16)
+		par := NewParallelStreamProcessorBatch(m, parStore, 4, batch)
+		for _, e := range evs {
+			par.OnSessionStart(e.sid, e.userID, e.ts, e.cat)
+			if e.access {
+				par.OnAccess(e.sid, e.ts+30)
+			}
+		}
+		par.Close()
+		if got := par.UpdatesRun(); got != int64(len(evs)) {
+			t.Fatalf("parallel batch %d: UpdatesRun %d, want %d", batch, got, len(evs))
+		}
+		requireSameStates(t, fmt.Sprintf("parallel batch %d", batch), users, want, parStore)
+	}
+}
+
+// TestBatchedWavePartition forces many sessions of the same users into one
+// drain (all timers fire in a single Flush), so correctness depends on the
+// wave partition applying each user's sessions in order.
+func TestBatchedWavePartition(t *testing.T) {
+	m := testModel()
+	const users = 5
+	const rounds = 9
+	var evs []replayEvent
+	start := synth.DefaultStart
+	for r := 0; r < rounds; r++ {
+		for u := 0; u < users; u++ {
+			// Seconds apart: every session of every user is due in the same
+			// drain at Flush time.
+			evs = append(evs, replayEvent{
+				sid:    fmt.Sprintf("u%d-s%d", u, r),
+				userID: u,
+				ts:     start + int64(r*users+u),
+				cat:    []int{(u + r) % 4, r % 3},
+				access: r%2 == 0,
+			})
+		}
+	}
+	want := replayScalar(m, evs)
+
+	store := NewKVStore()
+	p := NewStreamProcessor(m, store)
+	p.SetInferBatch(users * rounds) // one group holds every session
+	for _, e := range evs {
+		p.OnSessionStart(e.sid, e.userID, e.ts, e.cat)
+		if e.access {
+			p.OnAccess(e.sid, e.ts+1)
+		}
+	}
+	p.Flush()
+	requireSameStates(t, "wave partition", users, want, store)
+}
+
+// TestBatchedStackedModel runs the equivalence over a 2-layer stacked GRU,
+// exercising the stacked cell's batched gather/scatter path end to end.
+func TestBatchedStackedModel(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.HiddenDim = 8
+	cfg.MLPHidden = 8
+	cfg.Layers = 2
+	m := core.New(synth.MobileTabSchema(), cfg)
+	if !m.SupportsBatchUpdate() {
+		t.Fatalf("stacked GRU model must support batch update")
+	}
+	const users = 12
+	evs := syntheticLog(users, 4)
+	want := replayScalar(m, evs)
+
+	store := NewKVStore()
+	p := NewStreamProcessor(m, store)
+	p.SetInferBatch(8)
+	for _, e := range evs {
+		p.OnSessionStart(e.sid, e.userID, e.ts, e.cat)
+		if e.access {
+			p.OnAccess(e.sid, e.ts+30)
+		}
+	}
+	p.Flush()
+	requireSameStates(t, "stacked", users, want, store)
+}
+
+// TestParallelBatchedConcurrent drives a batched worker pool from many
+// goroutines at once — under -race this is the batched finaliser's
+// concurrency proof (the serving race step in CI runs it).
+func TestParallelBatchedConcurrent(t *testing.T) {
+	m := testModel()
+	store := NewShardedKVStore(16)
+	p := NewParallelStreamProcessorBatch(m, store, 4, 8)
+
+	const users = 12
+	const rounds = 8
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			start := synth.DefaultStart
+			for r := 0; r < rounds; r++ {
+				ts := start + int64(r)*7200
+				sid := fmt.Sprintf("u%d-s%d", u, r)
+				p.OnSessionStart(sid, u, ts, []int{u % 4, r % 3})
+				if r%2 == 0 {
+					p.OnAccess(sid, ts+30)
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	p.Close()
+
+	if got := p.UpdatesRun(); got != users*rounds {
+		t.Fatalf("UpdatesRun: %d, want %d", got, users*rounds)
+	}
+	if st := store.Stats(); st.Keys != users {
+		t.Fatalf("stored keys: %d, want %d", st.Keys, users)
+	}
+}
+
+// TestBatchedSyncVisibility checks Advance+Sync read-your-writes holds
+// with the batched worker drain.
+func TestBatchedSyncVisibility(t *testing.T) {
+	m := testModel()
+	store := NewShardedKVStore(4)
+	p := NewParallelStreamProcessorBatch(m, store, 2, 16)
+	defer p.Close()
+
+	start := synth.DefaultStart
+	for i := 0; i < 6; i++ {
+		p.OnSessionStart(fmt.Sprintf("s%d", i), 40+i, start+int64(i), []int{1, 2})
+	}
+	p.Advance(start + m.Schema.SessionLength + p.Epsilon + 10)
+	p.Sync()
+	for i := 0; i < 6; i++ {
+		if _, ok := store.Get(hiddenKey(40 + i)); !ok {
+			t.Fatalf("user %d state missing after Advance+Sync", 40+i)
+		}
+	}
+}

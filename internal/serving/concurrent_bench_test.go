@@ -87,6 +87,92 @@ func BenchmarkParallelStreamUpdate(b *testing.B) {
 			}
 		})
 	}
+	// Batched finalisation: the GEMM path amortises weight traffic across
+	// each drained group (replay pattern leaves a full backlog at Flush).
+	for _, batch := range []int{8, 32} {
+		b.Run(fmt.Sprintf("sequential-batch-%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := NewStreamProcessor(m, NewKVStore())
+				p.SetInferBatch(batch)
+				for _, e := range evs {
+					p.OnSessionStart(e.sid, e.userID, e.ts, e.cat)
+					if e.access {
+						p.OnAccess(e.sid, e.ts+30)
+					}
+				}
+				p.Flush()
+			}
+		})
+	}
+	for _, workers := range []int{4} {
+		b.Run(fmt.Sprintf("workers-%d-batch-32", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := NewParallelStreamProcessorBatch(m, NewShardedKVStore(16), workers, 32)
+				for _, e := range evs {
+					p.OnSessionStart(e.sid, e.userID, e.ts, e.cat)
+					if e.access {
+						p.OnAccess(e.sid, e.ts+30)
+					}
+				}
+				p.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkBatchFinalise isolates the finalisation kernel from the replay
+// machinery (timers, heaps, buffer maps, processor construction): a warmed
+// store and a fixed group of due sessions, measured through the scalar
+// per-session path vs the batched GEMM path at several batch sizes and
+// hidden dims. This is the apples-to-apples number for the GEMM win; the
+// replay benchmarks above include ingest overhead and per-iteration
+// processor construction.
+func BenchmarkBatchFinalise(b *testing.B) {
+	for _, d := range []int{32, 64, 128} {
+		cfg := core.DefaultConfig()
+		cfg.HiddenDim = d
+		cfg.MLPHidden = 64
+		m := core.New(synth.MobileTabSchema(), cfg)
+		const users = 64
+		store := NewKVStore()
+		// Warm every user's state so the benchmark measures decode+GRU+encode,
+		// not cold starts.
+		warm := NewStreamProcessor(m, store)
+		for u := 0; u < users; u++ {
+			warm.OnSessionStart(fmt.Sprintf("w%d", u), u, synth.DefaultStart+int64(u), []int{u % 4, u % 3})
+		}
+		warm.Flush()
+		bufs := make([]*sessionBuffer, users)
+		for u := 0; u < users; u++ {
+			bufs[u] = &sessionBuffer{
+				userID: u, start: synth.DefaultStart + 7200 + int64(u),
+				cat: []int{u % 4, u % 3}, accessed: u%3 == 0,
+			}
+		}
+		b.Run(fmt.Sprintf("d%d/scalar", d), func(b *testing.B) {
+			sc := newUpdateScratch(m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, buf := range bufs {
+					applySessionUpdate(m, store, buf, sc)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(bufs)), "ns/session")
+		})
+		for _, batch := range []int{8, 32, 64} {
+			b.Run(fmt.Sprintf("d%d/batch-%d", d, batch), func(b *testing.B) {
+				bs := newBatchScratch(m, batch)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for lo := 0; lo < len(bufs); lo += batch {
+						hi := min(lo+batch, len(bufs))
+						applySessionUpdateBatch(m, store, bufs[lo:hi], bs)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(bufs)), "ns/session")
+			})
+		}
+	}
 }
 
 // BenchmarkBatchPrediction measures session-startup throughput at 1/4/8

@@ -39,6 +39,9 @@ type ParallelStreamProcessor struct {
 
 	lanes   []chan *sessionBuffer
 	workers sync.WaitGroup
+	// inferBatch > 1 lets each worker greedily drain up to that many queued
+	// sessions from its lane and finalise them through the batched cell.
+	inferBatch int
 
 	// inflight tracks dispatched-but-unfinished finalisations for Sync.
 	inflightMu   sync.Mutex
@@ -52,15 +55,26 @@ type ParallelStreamProcessor struct {
 // finalisation goroutines (<=0 selects GOMAXPROCS). The store must be safe
 // for concurrent use; both KVStore and ShardedKVStore are.
 func NewParallelStreamProcessor(model *core.Model, store Store, workers int) *ParallelStreamProcessor {
+	return NewParallelStreamProcessorBatch(model, store, workers, 1)
+}
+
+// NewParallelStreamProcessorBatch is NewParallelStreamProcessor with
+// batched finalisation: each worker greedily drains up to inferBatch
+// queued sessions from its lane per round and advances them through the
+// batched GEMM cell (inferBatch <= 1 keeps the per-session path). Lane
+// FIFO order plus the batch's wave partition preserve per-user update
+// order, so stored states stay byte-identical to the sequential processor.
+func NewParallelStreamProcessorBatch(model *core.Model, store Store, workers, inferBatch int) *ParallelStreamProcessor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &ParallelStreamProcessor{
-		model:   model,
-		store:   store,
-		Epsilon: core.DefaultEpsilon,
-		buffers: make(map[string]*sessionBuffer),
-		lanes:   make([]chan *sessionBuffer, workers),
+		model:      model,
+		store:      store,
+		Epsilon:    core.DefaultEpsilon,
+		buffers:    make(map[string]*sessionBuffer),
+		lanes:      make([]chan *sessionBuffer, workers),
+		inferBatch: inferBatch,
 	}
 	p.inflightCond = sync.NewCond(&p.inflightMu)
 	for i := range p.lanes {
@@ -74,17 +88,53 @@ func NewParallelStreamProcessor(model *core.Model, store Store, workers int) *Pa
 
 func (p *ParallelStreamProcessor) runWorker(lane <-chan *sessionBuffer) {
 	defer p.workers.Done()
+	if p.inferBatch > 1 {
+		p.runWorkerBatched(lane)
+		return
+	}
 	scratch := newUpdateScratch(p.model)
 	for buf := range lane {
 		applySessionUpdate(p.model, p.store, buf, scratch)
-		p.updatesRun.Add(1)
-		p.inflightMu.Lock()
-		p.inflight--
-		if p.inflight == 0 {
-			p.inflightCond.Broadcast()
-		}
-		p.inflightMu.Unlock()
+		p.finishInflight(1)
 	}
+}
+
+// runWorkerBatched drains the lane greedily: one blocking receive, then
+// non-blocking receives up to the batch size, then one batched
+// finalisation. Under light load this degenerates to per-session updates
+// (batch of 1); under a backlog the whole group rides two GEMMs per wave.
+func (p *ParallelStreamProcessor) runWorkerBatched(lane <-chan *sessionBuffer) {
+	bs := newBatchScratch(p.model, p.inferBatch)
+	bufs := make([]*sessionBuffer, 0, p.inferBatch)
+	for buf := range lane {
+		bufs = append(bufs[:0], buf)
+	drain:
+		for len(bufs) < p.inferBatch {
+			select {
+			case b, ok := <-lane:
+				if !ok {
+					break drain // lane closed; the outer range exits next
+				}
+				bufs = append(bufs, b)
+			default:
+				break drain
+			}
+		}
+		applySessionUpdateBatch(p.model, p.store, bufs, bs)
+		p.finishInflight(len(bufs))
+	}
+}
+
+// finishInflight retires n dispatched finalisations and wakes Sync waiters
+// when the pipeline empties.
+func (p *ParallelStreamProcessor) finishInflight(n int) {
+	p.updatesRun.Add(int64(n))
+	p.inflightMu.Lock()
+	p.inflight -= n
+	if p.inflight == 0 {
+		p.inflightCond.Broadcast()
+	}
+	p.inflightMu.Unlock()
 }
 
 // laneFor maps a user to a worker lane. All of a user's sessions land on

@@ -57,6 +57,12 @@ type StreamProcessor struct {
 	now     int64
 	scratch *updateScratch
 
+	// inferBatch > 1 drains due sessions in groups of up to that size and
+	// finalises them through the batched GEMM cell path (see batch.go).
+	inferBatch int
+	batchSc    *batchScratch
+	due        []*sessionBuffer
+
 	// UpdatesRun counts GRU executions (the paper's most expensive model
 	// component runs once per session, off the critical path).
 	UpdatesRun int64
@@ -71,6 +77,20 @@ func NewStreamProcessor(model *core.Model, store Store) *StreamProcessor {
 		buffers: make(map[string]*sessionBuffer),
 		scratch: newUpdateScratch(model),
 	}
+}
+
+// SetInferBatch selects batched finalisation: due sessions are drained in
+// groups of up to n and advanced through the batched cell, which computes
+// all gate pre-activations as two GEMMs per wave instead of two
+// matrix-vector products per session. n <= 1 restores the per-session
+// path. Stored states are byte-identical either way.
+func (p *StreamProcessor) SetInferBatch(n int) {
+	if n <= 1 {
+		p.inferBatch, p.batchSc = 0, nil
+		return
+	}
+	p.inferBatch = n
+	p.batchSc = newBatchScratch(p.model, n)
 }
 
 // hiddenKey is the per-user KV key.
@@ -95,6 +115,13 @@ func newUpdateScratch(m *core.Model) *updateScratch {
 
 // Advance moves the virtual clock to ts, firing any due timers in order.
 func (p *StreamProcessor) Advance(ts int64) {
+	if p.inferBatch > 1 {
+		p.drainBatched(ts)
+		if ts > p.now {
+			p.now = ts
+		}
+		return
+	}
 	for len(p.timers) > 0 && p.timers[0].fireAt <= ts {
 		e := heap.Pop(&p.timers).(timerEntry)
 		p.now = e.fireAt
@@ -102,6 +129,29 @@ func (p *StreamProcessor) Advance(ts int64) {
 	}
 	if ts > p.now {
 		p.now = ts
+	}
+}
+
+// drainBatched pops every timer due at ts, in timer order, and finalises
+// the sessions in groups of up to inferBatch. Group chunking preserves the
+// global drain order, and the wave partition inside each group preserves
+// per-user order, so stored states match the per-session path byte for
+// byte.
+func (p *StreamProcessor) drainBatched(ts int64) {
+	for len(p.timers) > 0 && p.timers[0].fireAt <= ts {
+		p.due = p.due[:0]
+		for len(p.timers) > 0 && p.timers[0].fireAt <= ts && len(p.due) < p.inferBatch {
+			e := heap.Pop(&p.timers).(timerEntry)
+			p.now = e.fireAt
+			if buf, ok := p.buffers[e.sessionID]; ok {
+				delete(p.buffers, e.sessionID)
+				p.due = append(p.due, buf)
+			}
+		}
+		if len(p.due) > 0 {
+			applySessionUpdateBatch(p.model, p.store, p.due, p.batchSc)
+			p.UpdatesRun += int64(len(p.due))
+		}
 	}
 }
 
@@ -173,11 +223,16 @@ func applySessionUpdate(model *core.Model, store Store, buf *sessionBuffer, sc *
 // Flush fires all outstanding timers regardless of the clock (end of
 // replay).
 func (p *StreamProcessor) Flush() {
-	for len(p.timers) > 0 {
-		e := heap.Pop(&p.timers).(timerEntry)
-		p.now = e.fireAt
-		p.finalize(e.sessionID)
+	if len(p.timers) == 0 {
+		return
 	}
+	last := p.timers[0].fireAt
+	for _, e := range p.timers {
+		if e.fireAt > last {
+			last = e.fireAt
+		}
+	}
+	p.Advance(last)
 }
 
 // Pending returns the number of in-flight sessions.

@@ -12,6 +12,7 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Vector is a dense float64 vector.
@@ -224,27 +225,36 @@ func (m *Matrix) AXPY(a float64, x *Matrix) {
 // this path dominates training cost.
 const sparseCutoff = 64
 
-// gatherNonzeros returns the indices of x's nonzero entries, or nil when a
-// dense pass is preferable.
-func gatherNonzeros(x Vector) []int32 {
+// nzPool recycles the nonzero-index buffers of the sparse fast paths. The
+// buffers never escape the routine that gathered them, so a pool makes the
+// hot loops allocation-free at steady state (the old per-call make was the
+// last allocation in the serving finalisation path).
+var nzPool = sync.Pool{New: func() any { return new([]int32) }}
+
+// gatherNonzeros fills buf with the indices of x's nonzero entries,
+// returning nil when a dense pass is preferable. The returned slice aliases
+// buf's storage; callers own buf and must return it to nzPool when done.
+func gatherNonzeros(buf *[]int32, x Vector) []int32 {
 	if len(x) < sparseCutoff {
 		return nil
 	}
 	nz := 0
+	limit := len(x) / 4
 	for _, v := range x {
 		if v != 0 {
 			nz++
+			if nz >= limit {
+				return nil
+			}
 		}
 	}
-	if nz*4 >= len(x) {
-		return nil
-	}
-	idx := make([]int32, 0, nz)
+	idx := (*buf)[:0]
 	for j, v := range x {
 		if v != 0 {
 			idx = append(idx, int32(j))
 		}
 	}
+	*buf = idx
 	return idx
 }
 
@@ -253,17 +263,33 @@ func gatherNonzeros(x Vector) []int32 {
 func (m *Matrix) MulVec(dst, x Vector) {
 	checkLen("Matrix.MulVec x", m.Cols, len(x))
 	checkLen("Matrix.MulVec dst", m.Rows, len(dst))
-	if idx := gatherNonzeros(x); idx != nil {
-		for i := 0; i < m.Rows; i++ {
-			row := m.Data[i*m.Cols : (i+1)*m.Cols]
-			var s float64
-			for _, j := range idx {
-				s += row[j] * x[j]
+	if len(x) >= sparseCutoff {
+		buf := nzPool.Get().(*[]int32)
+		if idx := gatherNonzeros(buf, x); idx != nil {
+			for i := 0; i < m.Rows; i++ {
+				row := m.Data[i*m.Cols : (i+1)*m.Cols]
+				var s float64
+				for _, j := range idx {
+					s += row[j] * x[j]
+				}
+				dst[i] = s
 			}
-			dst[i] = s
+			nzPool.Put(buf)
+			return
 		}
-		return
+		nzPool.Put(buf)
 	}
+	m.MulVecDense(dst, x)
+}
+
+// MulVecDense is MulVec without the sparsity scan, for callers that know x
+// is dense (e.g. a GRU hidden state after the first step). Results are
+// bit-identical to MulVec: skipped zero terms contribute ±0, which never
+// changes an IEEE-754 running sum that is not itself −0, and a running sum
+// of products can only be −0 before any nonzero term has been added.
+func (m *Matrix) MulVecDense(dst, x Vector) {
+	checkLen("Matrix.MulVecDense x", m.Cols, len(x))
+	checkLen("Matrix.MulVecDense dst", m.Rows, len(dst))
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		var s float64
@@ -274,10 +300,27 @@ func (m *Matrix) MulVec(dst, x Vector) {
 	}
 }
 
-// MulVecAdd computes dst += m · x.
+// MulVecAdd computes dst += m · x, taking the same sparse fast path as
+// MulVec (on zeroed dst the two are bit-identical — see the property test).
 func (m *Matrix) MulVecAdd(dst, x Vector) {
 	checkLen("Matrix.MulVecAdd x", m.Cols, len(x))
 	checkLen("Matrix.MulVecAdd dst", m.Rows, len(dst))
+	if len(x) >= sparseCutoff {
+		buf := nzPool.Get().(*[]int32)
+		if idx := gatherNonzeros(buf, x); idx != nil {
+			for i := 0; i < m.Rows; i++ {
+				row := m.Data[i*m.Cols : (i+1)*m.Cols]
+				var s float64
+				for _, j := range idx {
+					s += row[j] * x[j]
+				}
+				dst[i] += s
+			}
+			nzPool.Put(buf)
+			return
+		}
+		nzPool.Put(buf)
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		var s float64
@@ -321,18 +364,23 @@ func (m *Matrix) MulVecTAdd(dst, x Vector) {
 func (m *Matrix) RankOneAdd(a float64, u, v Vector) {
 	checkLen("Matrix.RankOneAdd u", m.Rows, len(u))
 	checkLen("Matrix.RankOneAdd v", m.Cols, len(v))
-	if idx := gatherNonzeros(v); idx != nil {
-		for i := 0; i < m.Rows; i++ {
-			s := a * u[i]
-			if s == 0 {
-				continue
+	if len(v) >= sparseCutoff {
+		buf := nzPool.Get().(*[]int32)
+		if idx := gatherNonzeros(buf, v); idx != nil {
+			for i := 0; i < m.Rows; i++ {
+				s := a * u[i]
+				if s == 0 {
+					continue
+				}
+				row := m.Data[i*m.Cols : (i+1)*m.Cols]
+				for _, j := range idx {
+					row[j] += s * v[j]
+				}
 			}
-			row := m.Data[i*m.Cols : (i+1)*m.Cols]
-			for _, j := range idx {
-				row[j] += s * v[j]
-			}
+			nzPool.Put(buf)
+			return
 		}
-		return
+		nzPool.Put(buf)
 	}
 	for i := 0; i < m.Rows; i++ {
 		s := a * u[i]
@@ -347,26 +395,9 @@ func (m *Matrix) RankOneAdd(a float64, u, v Vector) {
 }
 
 // MatMul computes dst = m · other. dst must be Rows×other.Cols and is
-// overwritten; it must not alias m or other.
-func (m *Matrix) MatMul(dst, other *Matrix) {
-	checkLen("Matrix.MatMul inner", m.Cols, other.Rows)
-	checkLen("Matrix.MatMul rows", dst.Rows, m.Rows)
-	checkLen("Matrix.MatMul cols", dst.Cols, other.Cols)
-	dst.Zero()
-	for i := 0; i < m.Rows; i++ {
-		mRow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		dRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for k, mik := range mRow {
-			if mik == 0 {
-				continue
-			}
-			oRow := other.Data[k*other.Cols : (k+1)*other.Cols]
-			for j, okj := range oRow {
-				dRow[j] += mik * okj
-			}
-		}
-	}
-}
+// overwritten; it must not alias m or other. It is the historical name for
+// MulMat, which supplies the cache-blocked kernels.
+func (m *Matrix) MatMul(dst, other *Matrix) { m.MulMat(dst, other) }
 
 // FrobeniusNorm returns the Frobenius norm of m.
 func (m *Matrix) FrobeniusNorm() float64 {
