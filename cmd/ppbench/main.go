@@ -8,6 +8,7 @@
 //	ppbench -exp table3 -scale quick # one experiment, reduced scale
 //	ppbench -list
 //	ppbench -bench serving -bench-out BENCH_serving.json
+//	ppbench -bench server            # online HTTP tier -> BENCH_server.json
 //	ppbench -bench serving -scale quick   # CI short mode
 package main
 
@@ -28,8 +29,8 @@ func main() {
 		users    = flag.Int("users", 0, "override MobileTab/Timeshift user count")
 		verbose  = flag.Bool("v", false, "log training progress")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
-		bench    = flag.String("bench", "", "run a tracked benchmark suite instead of experiments (serving)")
-		benchOut = flag.String("bench-out", "BENCH_serving.json", "JSON output path for -bench")
+		bench    = flag.String("bench", "", "run a tracked benchmark suite instead of experiments (serving | server)")
+		benchOut = flag.String("bench-out", "", "JSON output path for -bench (default BENCH_<suite>.json)")
 	)
 	flag.Parse()
 
@@ -41,18 +42,34 @@ func main() {
 	}
 
 	if *bench != "" {
-		if *bench != "serving" {
-			fmt.Fprintf(os.Stderr, "ppbench: unknown bench suite %q (have: serving)\n", *bench)
+		type benchSuite interface {
+			Render() string
+			WriteJSON(path string) error
+		}
+		var suite benchSuite
+		out := *benchOut
+		t0 := time.Now()
+		switch *bench {
+		case "serving":
+			suite = experiments.RunServingBench(*scale == "quick")
+			if out == "" {
+				out = "BENCH_serving.json"
+			}
+		case "server":
+			suite = experiments.RunServerBench(*scale == "quick")
+			if out == "" {
+				out = "BENCH_server.json"
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "ppbench: unknown bench suite %q (have: serving, server)\n", *bench)
 			os.Exit(2)
 		}
-		t0 := time.Now()
-		suite := experiments.RunServingBench(*scale == "quick")
 		fmt.Println(suite.Render())
-		if err := suite.WriteJSON(*benchOut); err != nil {
-			fmt.Fprintf(os.Stderr, "ppbench: writing %s: %v\n", *benchOut, err)
+		if err := suite.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: writing %s: %v\n", out, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%v)\n", *benchOut, time.Since(t0).Round(time.Second))
+		fmt.Printf("wrote %s (%v)\n", out, time.Since(t0).Round(time.Second))
 		return
 	}
 

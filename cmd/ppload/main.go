@@ -1,0 +1,179 @@
+// Command ppload is the load generator for ppserve's online server mode:
+// it replays an event log over the HTTP API — closed-loop (a fixed pool of
+// connections, each waiting for its responses) or open-loop (a target
+// session rate) — interleaves predict requests, and reports throughput and
+// latency histograms.
+//
+// The log is either regenerated deterministically from the same cohort
+// flags ppserve trains on (-users/-seed, which is what makes the parity
+// gate possible) or read from a ppgen dataset file (-data). Users are
+// sharded across connections so each user's events arrive in timestamp
+// order, and a session's start/access pair always rides one POST — the
+// ordering contract under which the server's stored states are
+// byte-identical to sequential in-process replay.
+//
+// Usage:
+//
+//	ppload -addr http://127.0.0.1:8080 -users 500 -concurrency 8
+//	ppload -data mobiletab.ppds -rate 2000 -predict-every 4
+//	ppload -users 120 -seed 7 -expect-digest $(ppserve -users 120 -seed 7 -digest | awk '/state digest/{print $3}')
+//	ppload -users 500 -out BENCH_server.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		users         = flag.Int("users", 400, "cohort size to regenerate (must match the server's -users)")
+		seed          = flag.Uint64("seed", 1, "cohort seed (must match the server's -seed)")
+		data          = flag.String("data", "", "replay a ppgen dataset file instead of regenerating the cohort")
+		concurrency   = flag.Int("concurrency", 8, "closed-loop connections (users are sharded across them)")
+		eventsPerPost = flag.Int("events-per-post", 16, "events coalesced per POST /event")
+		predictEvery  = flag.Int("predict-every", 4, "one POST /predict per this many sessions (0 = none)")
+		rate          = flag.Float64("rate", 0, "open-loop sessions/s across all connections (0 = closed loop)")
+		doFlush       = flag.Bool("flush", true, "POST /flush after the replay (required for digest parity)")
+		doDigest      = flag.Bool("digest", false, "print the server's post-flush state digest")
+		expectDigest  = flag.String("expect-digest", "", "fail unless the server's post-flush digest equals this hex (parity gate)")
+		requireClean  = flag.Bool("require-clean", false, "exit nonzero if any request was shed (429) or errored")
+		waitHealthy   = flag.Duration("wait-healthy", 15*time.Second, "wait this long for /healthz before starting")
+		out           = flag.String("out", "", "write the machine-readable load report to this JSON path")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ppload: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *concurrency < 1 || *eventsPerPost < 1 || *predictEvery < 0 || *rate < 0 {
+		fmt.Fprintln(os.Stderr, "ppload: invalid flags: -concurrency and -events-per-post must be >= 1, -predict-every and -rate >= 0")
+		os.Exit(2)
+	}
+	if *expectDigest != "" && !*doFlush {
+		fmt.Fprintln(os.Stderr, "ppload: -expect-digest requires -flush (digests of an undrained server are meaningless)")
+		os.Exit(2)
+	}
+
+	var log []server.ReplayEvent
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			fail("%v", err)
+		}
+		d, err := dataset.Read(f)
+		f.Close()
+		if err != nil {
+			fail("reading %s: %v", *data, err)
+		}
+		log = server.LogFromDataset(d)
+		fmt.Printf("replaying %s: %d sessions for %d users\n", *data, len(log), len(d.Users))
+	} else {
+		log = server.ReplayLog(*users, *seed)
+		fmt.Printf("replaying regenerated cohort (users=%d seed=%d): %d sessions\n", *users, *seed, len(log))
+	}
+
+	if err := server.WaitHealthy(*addr, *waitHealthy); err != nil {
+		fail("%v", err)
+	}
+
+	opts := server.LoadOptions{
+		BaseURL:       *addr,
+		Concurrency:   *concurrency,
+		EventsPerPost: *eventsPerPost,
+		PredictEvery:  *predictEvery,
+		RatePerSec:    *rate,
+		Flush:         *doFlush,
+	}
+	rep, err := server.RunLoad(opts, log)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("\n%d sessions (%d events in %d posts) in %.0fms — %.0f sessions/s\n",
+		rep.Sessions, rep.Events, rep.Posts, rep.WallMs, rep.SessionsPerSec)
+	fmt.Printf("shed: %d events, %d predicts  errors: %d\n", rep.Shed, rep.PredictsShed, rep.Errors)
+	printLatency := func(name string, l server.LatencyStats) {
+		if l.Count == 0 {
+			return
+		}
+		fmt.Printf("%s latency (ms): p50 %.2f  p90 %.2f  p95 %.2f  p99 %.2f  max %.2f  (n=%d)\n",
+			name, l.P50Ms, l.P90Ms, l.P95Ms, l.P99Ms, l.MaxMs, l.Count)
+	}
+	printLatency("event", rep.EventLatency)
+	printLatency("predict", rep.PredictLatency)
+
+	statz, err := server.FetchStatz(*addr, nil)
+	if err != nil {
+		fail("fetching statz: %v", err)
+	}
+	fmt.Printf("server: %d updates in %d batches (mean batch %.2f), %d events shed, %d predicts shed\n",
+		statz.UpdatesRun, statz.Batches, statz.MeanBatch, statz.EventsShed, statz.PredictsShed)
+
+	var keys int
+	var dg string
+	if *doDigest || *expectDigest != "" {
+		keys, dg, err = server.Digest(*addr, nil)
+		if err != nil {
+			fail("fetching digest: %v", err)
+		}
+		fmt.Printf("state digest: %s (%d keys)\n", dg, keys)
+	}
+
+	if *out != "" {
+		doc := struct {
+			SchemaVersion int                `json:"schema_version"`
+			GeneratedAt   string             `json:"generated_at"`
+			Addr          string             `json:"addr"`
+			Concurrency   int                `json:"concurrency"`
+			EventsPerPost int                `json:"events_per_post"`
+			PredictEvery  int                `json:"predict_every"`
+			RatePerSec    float64            `json:"rate_per_sec"`
+			Report        *server.LoadReport `json:"report"`
+			MeanBatch     float64            `json:"mean_batch"`
+			UpdatesRun    int64              `json:"updates_run"`
+			Digest        string             `json:"digest,omitempty"`
+			Keys          int                `json:"keys,omitempty"`
+		}{
+			SchemaVersion: 1,
+			GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+			Addr:          *addr,
+			Concurrency:   *concurrency,
+			EventsPerPost: *eventsPerPost,
+			PredictEvery:  *predictEvery,
+			RatePerSec:    *rate,
+			Report:        rep,
+			MeanBatch:     statz.MeanBatch,
+			UpdatesRun:    statz.UpdatesRun,
+			Digest:        dg,
+			Keys:          keys,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fail("encoding report: %v", err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fail("writing %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *expectDigest != "" && dg != *expectDigest {
+		fail("digest mismatch: server %s, expected %s — HTTP replay is NOT byte-identical to sequential replay", dg, *expectDigest)
+	}
+	if *expectDigest != "" {
+		fmt.Println("digest parity: HTTP replay is byte-identical to sequential replay")
+	}
+	if *requireClean && (rep.Shed > 0 || rep.PredictsShed > 0 || rep.Errors > 0 || statz.EventsShed > 0 || statz.PredictsShed > 0) {
+		fail("run not clean: %d shed, %d errors (server: %d events shed, %d predicts shed)",
+			rep.Shed, rep.Errors, statz.EventsShed, statz.PredictsShed)
+	}
+}

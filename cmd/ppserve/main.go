@@ -1,8 +1,17 @@
-// Command ppserve runs the production serving simulation of §9 end to end:
-// it trains a model, then replays a cohort of users through the prediction
-// service (session startup) and the stream processor (session
-// finalisation + GRU update), and reports precision/recall of the
-// precompute policy together with the KV-store traffic.
+// Command ppserve runs the production serving path of §9 in two modes.
+//
+// Replay mode (default) trains a model, then replays a cohort of users
+// through the prediction service (session startup) and the stream
+// processor (session finalisation + GRU update) in-process, and reports
+// precision/recall of the precompute policy together with the KV-store
+// traffic.
+//
+// Server mode (-serve ADDR) trains the same model and then serves live
+// traffic over an HTTP/JSON API — POST /event, POST /predict, GET /statz,
+// GET /healthz — backed by a dynamic micro-batcher that coalesces
+// concurrent finalisations into the batched GEMM path (flush on -max-batch
+// or -max-wait). SIGTERM shuts down gracefully: in-flight work drains and
+// the statestore takes a final snapshot. Drive it with cmd/ppload.
 //
 // With -workers > 1 the replay runs through the concurrent serving path:
 // a sharded KV store, a worker-pool stream processor (per-user lanes keep
@@ -19,25 +28,125 @@
 //	ppserve -users 500 -threshold 0.5
 //	ppserve -users 500 -workers 8 -batch 64
 //	ppserve -users 500 -persist /tmp/pp -restart-after 0.5
-//	ppserve -users 500 -evict-after 72h -mem-budget 65536 -quant
+//	ppserve -users 500 -serve :8080 -max-batch 32 -max-wait 2ms
+//	ppserve -users 500 -digest   # print the replay's state digest (parity)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"sort"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/server"
 	"repro/internal/serving"
 	"repro/internal/statestore"
-	"repro/internal/synth"
 )
+
+// flagSet carries every ppserve flag through validation.
+type flagSet struct {
+	users, epochs, hidden   int
+	workers, batch, shards  int
+	inferBatch              int
+	threshold, restartAfter float64
+	persist                 string
+	evictAfter              time.Duration
+	memBudget               int64
+	serve                   string
+	maxBatch, laneDepth     int
+	maxWait                 time.Duration
+	cpuprofile, memprofile  string
+	// set records which flags were explicitly passed (flag.Visit), so
+	// validation can reject mode-mismatched flags without guessing from
+	// default values.
+	set map[string]bool
+}
+
+// validate rejects nonsensical flag combinations up front with one clear
+// error instead of silent misbehaviour mid-run.
+func (f flagSet) validate() error {
+	var errs []string
+	add := func(msg string) { errs = append(errs, msg) }
+	if f.users < 1 {
+		add("-users must be >= 1")
+	}
+	if f.epochs < 0 {
+		add("-epochs must be >= 0")
+	}
+	if f.hidden < 1 {
+		add("-hidden must be >= 1")
+	}
+	if f.threshold < 0 || f.threshold > 1 {
+		add("-threshold must be in [0,1] (0 derives it from the 60% precision target)")
+	}
+	if f.workers < 0 {
+		add("-workers must be >= 0")
+	}
+	if f.batch < 1 {
+		add("-batch must be >= 1")
+	}
+	if f.shards < 1 {
+		add("-shards must be >= 1")
+	}
+	if f.inferBatch < 1 {
+		add("-infer-batch must be >= 1 (1 = per-session finalisation)")
+	}
+	if f.evictAfter < 0 {
+		add("-evict-after must be >= 0")
+	}
+	if f.memBudget < 0 {
+		add("-mem-budget must be >= 0")
+	}
+	if f.restartAfter < 0 || f.restartAfter >= 1 {
+		if f.restartAfter != 0 {
+			add("-restart-after must be in (0,1) — a fraction of the replay")
+		}
+	}
+	if f.restartAfter > 0 && f.persist == "" {
+		add("-restart-after requires -persist (a volatile store cannot recover)")
+	}
+	if f.serve != "" {
+		if f.restartAfter > 0 {
+			add("-restart-after is a replay-mode flag, incompatible with -serve")
+		}
+		if f.cpuprofile != "" || f.memprofile != "" {
+			add("-cpuprofile/-memprofile profile the replay only, incompatible with -serve")
+		}
+		if f.inferBatch > 1 {
+			add("-infer-batch is a replay-mode flag; in server mode use -max-batch")
+		}
+		if f.batch > 1 {
+			add("-batch is a replay-mode flag; server-mode predict batching uses -max-batch")
+		}
+	} else {
+		for _, name := range []string{"max-batch", "max-wait", "lane-depth"} {
+			if f.set[name] {
+				add("-" + name + " is a server-mode flag; it has no effect without -serve")
+			}
+		}
+	}
+	if f.maxBatch < 1 {
+		add("-max-batch must be >= 1")
+	}
+	if f.maxWait < 0 {
+		add("-max-wait must be >= 0")
+	}
+	if f.laneDepth < 1 {
+		add("-lane-depth must be >= 1")
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invalid flags: %s", strings.Join(errs, "; "))
+}
 
 func main() {
 	var (
@@ -46,10 +155,16 @@ func main() {
 		hidden     = flag.Int("hidden", 32, "hidden dimensionality")
 		threshold  = flag.Float64("threshold", 0, "precompute threshold (0 = derive from 60% precision target)")
 		seed       = flag.Uint64("seed", 1, "seed")
-		workers    = flag.Int("workers", 1, "serving concurrency (1 = sequential compatibility path)")
+		workers    = flag.Int("workers", 1, "serving concurrency (replay: 1 = sequential compatibility path; serve: finalisation lanes, 0 = GOMAXPROCS)")
 		batch      = flag.Int("batch", 1, "prediction micro-batch size when workers > 1 (1 = lock-step parity with the sequential path; use >1, e.g. 64, for throughput)")
 		shards     = flag.Int("shards", serving.DefaultShards, "KV store shard count (used when workers > 1)")
 		inferBatch = flag.Int("infer-batch", 1, "session-finalisation batch size: due sessions are advanced through the batched GEMM cell in groups of up to this size (states stay byte-identical to 1)")
+		digest     = flag.Bool("digest", false, "print the SHA-256 digest of the final hidden states (the HTTP parity gate compares it against the server's /digest)")
+
+		serveAddr = flag.String("serve", "", "run as an online HTTP server on this address (e.g. :8080) instead of replaying in-process")
+		maxBatch  = flag.Int("max-batch", 32, "server micro-batch flush size (finalise and predict)")
+		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "server micro-batch flush deadline (0 = greedy flush, no waiting)")
+		laneDepth = flag.Int("lane-depth", 256, "server per-lane finalisation queue bound (full queues shed events with 429)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 		memprofile = flag.String("memprofile", "", "write a post-replay heap profile to this file")
@@ -62,18 +177,30 @@ func main() {
 	)
 	flag.Parse()
 
-	lifecycle := *persist != "" || *evictAfter > 0 || *memBudget > 0 || *quant
-	if *restartAfter > 0 && *persist == "" {
-		fmt.Println("ppserve: -restart-after requires -persist (a volatile store cannot recover)")
-		return
+	fs := flagSet{
+		users: *users, epochs: *epochs, hidden: *hidden,
+		workers: *workers, batch: *batch, shards: *shards,
+		inferBatch: *inferBatch,
+		threshold:  *threshold, restartAfter: *restartAfter,
+		persist: *persist, evictAfter: *evictAfter, memBudget: *memBudget,
+		serve: *serveAddr, maxBatch: *maxBatch, maxWait: *maxWait, laneDepth: *laneDepth,
+		cpuprofile: *cpuprofile, memprofile: *memprofile,
+		set: map[string]bool{},
+	}
+	flag.Visit(func(fl *flag.Flag) { fs.set[fl.Name] = true })
+	if err := fs.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "ppserve: %v\n", err)
+		os.Exit(2)
 	}
 
-	fmt.Println("== predictive precompute serving simulation ==")
-	cfg := synth.DefaultMobileTab()
-	cfg.Users = *users * 2 // half for training, half replayed
-	cfg.Seed = *seed
-	data := synth.GenerateMobileTab(cfg)
-	split := dataset.SplitUsers(data, 0.5, *seed)
+	lifecycle := *persist != "" || *evictAfter > 0 || *memBudget > 0 || *quant
+
+	if *serveAddr != "" {
+		fmt.Println("== predictive precompute online server ==")
+	} else {
+		fmt.Println("== predictive precompute serving simulation ==")
+	}
+	data, split := server.ReplayCohort(*users, *seed)
 	fmt.Printf("dataset: %d users, %d sessions, positive rate %.1f%%\n",
 		len(data.Users), data.NumSessions(), 100*data.PositiveRate())
 
@@ -98,28 +225,6 @@ func main() {
 		fmt.Printf("threshold %.4f targets 60%% precision (training recall %.1f%%)\n", thr, 100*recall)
 	}
 
-	// Replay the held-out cohort in global timestamp order, exactly as
-	// production traffic would interleave users.
-	type event struct {
-		ts     int64
-		user   int
-		sid    string
-		cat    []int
-		access bool
-	}
-	var evs []event
-	for _, u := range split.Test.Users {
-		for i, s := range u.Sessions {
-			evs = append(evs, event{
-				ts: s.Timestamp, user: u.ID,
-				sid:    fmt.Sprintf("u%d-s%d", u.ID, i),
-				cat:    s.Cat,
-				access: s.Access,
-			})
-		}
-	}
-	sort.Slice(evs, func(i, j int) bool { return evs[i].ts < evs[j].ts })
-
 	ssOpts := statestore.Options{
 		Dir:        *persist,
 		EvictAfter: int64(evictAfter.Seconds()),
@@ -129,6 +234,24 @@ func main() {
 	if *quant {
 		ssOpts.Codec = statestore.CodecInt8
 	}
+
+	if *serveAddr != "" {
+		runServer(*serveAddr, model, thr, lifecycle, ssOpts, serverConfig{
+			lanes:     *workers,
+			maxBatch:  *maxBatch,
+			maxWait:   *maxWait,
+			laneDepth: *laneDepth,
+			shards:    *shards,
+			digest:    *digest,
+		})
+		return
+	}
+
+	// Replay the held-out cohort in global timestamp order, exactly as
+	// production traffic would interleave users. The log comes from the
+	// same builder ppload uses, so the HTTP parity gate replays identical
+	// traffic.
+	evs := server.LogFromDataset(split.Test)
 
 	// stack is one generation of the serving tier; a simulated restart
 	// tears it down and rebuilds it from the persisted state.
@@ -305,22 +428,22 @@ func main() {
 		// All predictions in a micro-batch observe the store as of the
 		// group's first timestamp (the state a real batched tier would
 		// serve from), then the group's stream events are ingested.
-		cur.advance(group[0].ts)
+		cur.advance(group[0].Ts)
 		if bsz == 1 {
-			score(cur.svc.OnSessionStart(group[0].user, group[0].ts, group[0].cat), group[0].access)
+			score(cur.svc.OnSessionStart(group[0].User, group[0].Ts, group[0].Cat), group[0].Access)
 		} else {
 			reqs := make([]serving.PredictRequest, len(group))
 			for i, e := range group {
-				reqs[i] = serving.PredictRequest{UserID: e.user, Ts: e.ts, Cat: e.cat}
+				reqs[i] = serving.PredictRequest{UserID: e.User, Ts: e.Ts, Cat: e.Cat}
 			}
 			for i, dec := range cur.svc.OnSessionStartBatch(reqs, *workers) {
-				score(dec, group[i].access)
+				score(dec, group[i].Access)
 			}
 		}
 		for _, e := range group {
-			cur.onSession(e.sid, e.user, e.ts, e.cat)
-			if e.access {
-				cur.onAccess(e.sid, e.ts+30)
+			cur.onSession(e.SID, e.User, e.Ts, e.Cat)
+			if e.Access {
+				cur.onAccess(e.SID, e.Ts+30)
 			}
 		}
 	}
@@ -349,6 +472,10 @@ func main() {
 	fmt.Printf("\nreplayed %d sessions for %d users in %s (%.0f sessions/s)\n",
 		len(evs), len(split.Test.Users), elapsed.Round(time.Millisecond),
 		float64(len(evs))/elapsed.Seconds())
+	if *digest {
+		dg, keys := serving.StateDigest(cur.store)
+		fmt.Printf("state digest: %s (%d keys)\n", dg, keys)
+	}
 	precision := 0.0
 	if tp+fp > 0 {
 		precision = float64(tp) / float64(tp+fp)
@@ -376,6 +503,92 @@ func main() {
 			ls.IdleEvictions, ls.BudgetEvictions, ls.Snapshots, ls.WALRecords, ls.WALBytes)
 		if err := cur.ss.Close(); err != nil {
 			fmt.Printf("ppserve: statestore error: %v\n", err)
+		}
+	}
+}
+
+// serverConfig bundles the server-mode knobs.
+type serverConfig struct {
+	lanes, maxBatch, laneDepth int
+	maxWait                    time.Duration
+	shards                     int
+	digest                     bool
+}
+
+// runServer builds the store, starts the HTTP tier, and shuts down
+// gracefully on SIGTERM/SIGINT: the micro-batcher drains and the
+// statestore takes a final snapshot before the process exits.
+func runServer(addr string, model *core.Model, thr float64, lifecycle bool, ssOpts statestore.Options, cfg serverConfig) {
+	var store serving.Store
+	var ss *statestore.Store
+	if lifecycle {
+		var err error
+		ss, err = statestore.Open(ssOpts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppserve: opening statestore: %v\n", err)
+			os.Exit(1)
+		}
+		store = ss
+		fmt.Printf("state store: statestore (persist=%q codec=%s)\n", ssOpts.Dir, ssOpts.Codec)
+		if n := ss.Lifecycle().RecoveredKeys; n > 0 {
+			fmt.Printf("note: recovered %d states from a previous run in %s\n", n, ssOpts.Dir)
+		}
+	} else {
+		store = serving.NewShardedKVStore(cfg.shards)
+	}
+
+	wait := cfg.maxWait
+	if wait == 0 {
+		wait = -1 // ppserve's 0 means "greedy flush"; Options' 0 is the default
+	}
+	srv := server.New(server.Options{
+		Model:     model,
+		Store:     store,
+		State:     ss,
+		Threshold: thr,
+		Lanes:     cfg.lanes,
+		MaxBatch:  cfg.maxBatch,
+		MaxWait:   wait,
+		LaneDepth: cfg.laneDepth,
+	})
+
+	done := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		sig := <-sigCh
+		fmt.Printf("\nreceived %s, draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "ppserve: shutdown: %v\n", err)
+		}
+	}()
+
+	fmt.Printf("serving on %s (lanes=%d max-batch=%d max-wait=%s lane-depth=%d)\n",
+		addr, cfg.lanes, cfg.maxBatch, cfg.maxWait, cfg.laneDepth)
+	if err := srv.ListenAndServe(addr); err != nil {
+		fmt.Fprintf(os.Stderr, "ppserve: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+
+	st := srv.Stats()
+	fmt.Printf("served %d events (%d shed), %d predicts (%d shed)\n",
+		st.Events, st.EventsShed, st.Predicts, st.PredictsShed)
+	fmt.Printf("micro-batcher: %d updates in %d batches (mean batch %.2f)\n",
+		st.UpdatesRun, st.Batches, st.MeanBatch)
+	if cfg.digest {
+		dg, keys := serving.StateDigest(store)
+		fmt.Printf("state digest: %s (%d keys)\n", dg, keys)
+	}
+	if ss != nil {
+		ls := ss.Lifecycle()
+		fmt.Printf("lifecycle: %d snapshots, %d WAL records (%dB)\n",
+			ls.Snapshots, ls.WALRecords, ls.WALBytes)
+		if err := ss.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ppserve: statestore error: %v\n", err)
 		}
 	}
 }

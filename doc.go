@@ -21,8 +21,10 @@
 //     experiment (§9)
 //   - internal/statestore — durable, memory-bounded hidden-state store
 //     (WAL + snapshots, idle eviction, byte budget, int8 tier)
+//   - internal/server — request-driven online serving tier: HTTP/JSON
+//     API + dynamic micro-batcher over the batched GEMM path (§9)
 //   - internal/experiments — one driver per table/figure (§8-9)
-//   - cmd/{ppgen,ppbench,ppserve} — command-line tools
+//   - cmd/{ppgen,ppbench,ppserve,ppload} — command-line tools
 //   - examples/ — runnable walkthroughs of the public API
 //
 // See DESIGN.md for the system inventory and per-experiment index, and

@@ -156,6 +156,7 @@ func (l *Lab) ByID(id string) *Report {
 		"serving":       l.ServingCost,
 		"parallel":      l.Parallelism,
 		"lifecycle":     l.Lifecycle,
+		"loadtest":      l.Loadtest,
 		"batching":      l.Batching,
 		"cells":         l.Cells,
 		"latentcross":   l.LatentCross,
@@ -177,7 +178,7 @@ func IDs() []string {
 	return []string{
 		"table1", "table2", "figure1", "table3", "table4", "table5",
 		"figure4", "figure5", "figure6", "figure7", "online-recall",
-		"serving", "parallel", "lifecycle", "batching", "cells", "latentcross", "hiddendim", "losswindow",
+		"serving", "parallel", "lifecycle", "loadtest", "batching", "cells", "latentcross", "hiddendim", "losswindow",
 		"stacked", "universal", "retrain", "quantization",
 	}
 }

@@ -255,7 +255,7 @@ func TestByIDAndIDsAgree(t *testing.T) {
 		switch id {
 		case "hiddendim", "cells", "latentcross", "losswindow", "batching",
 			"table5", "figure4", "figure7", "online-recall", "serving",
-			"stacked", "universal", "retrain", "quantization":
+			"stacked", "universal", "retrain", "quantization", "loadtest":
 			// heavy drivers exercised in dedicated tests above
 			continue
 		}

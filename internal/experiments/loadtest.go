@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/serving"
+	"repro/internal/synth"
+)
+
+// The server benchmark suite is the tracked perf baseline of the online
+// HTTP tier (BENCH_server.json): it starts a real server on a loopback
+// listener per configuration, replays the deterministic cohort log through
+// the load generator, and records throughput plus latency histograms. The
+// headline comparison is micro-batched finalisation (max-batch > 1) vs the
+// batch-size-1 server — the online analogue of PR 3's finaliser speedups,
+// now with batches formed from traffic instead of replay lanes.
+
+// ServerBenchResult is one (hidden-dim, batcher-configuration)
+// measurement.
+type ServerBenchResult struct {
+	Config         string              `json:"config"`
+	HiddenDim      int                 `json:"hidden_dim"`
+	MaxBatch       int                 `json:"max_batch"`
+	MaxWaitMs      float64             `json:"max_wait_ms"`
+	Sessions       int                 `json:"sessions"`
+	SessionsPerSec float64             `json:"sessions_per_sec"`
+	MeanBatch      float64             `json:"mean_batch"`
+	Shed           int                 `json:"shed"`
+	Errors         int                 `json:"errors"`
+	EventLatency   server.LatencyStats `json:"event_latency"`
+	PredictLatency server.LatencyStats `json:"predict_latency"`
+	// SpeedupVsBatch1 is relative to the batch-size-1 server at the same
+	// hidden dim.
+	SpeedupVsBatch1 float64 `json:"speedup_vs_batch1"`
+}
+
+// ServerBenchSuite is the JSON document written to BENCH_server.json.
+type ServerBenchSuite struct {
+	SchemaVersion int                 `json:"schema_version"`
+	GeneratedAt   string              `json:"generated_at"`
+	GoVersion     string              `json:"go_version"`
+	GOOS          string              `json:"goos"`
+	GOARCH        string              `json:"goarch"`
+	GOMAXPROCS    int                 `json:"gomaxprocs"`
+	Quick         bool                `json:"quick"`
+	Users         int                 `json:"users"`
+	Concurrency   int                 `json:"concurrency"`
+	EventsPerPost int                 `json:"events_per_post"`
+	Results       []ServerBenchResult `json:"results"`
+}
+
+// serverBenchConfig is one configuration of the suite.
+type serverBenchConfig struct {
+	name     string
+	d        int
+	maxBatch int
+	maxWait  time.Duration
+}
+
+// RunServerBench measures online serving throughput and latency across
+// micro-batcher configurations. Each configuration starts a fresh server
+// (cold store) per repetition and keeps the best clean run — the
+// min-of-short-windows estimator that survives the noisy shared box (see
+// the 2-core benchmarking notes in EXPERIMENTS.md). Repetitions are
+// interleaved rep-major (every config runs once, then again) so all
+// configs sample the same noise windows: throttle episodes here last
+// seconds-to-minutes, and config-major order would hand one config a
+// quiet window and its comparator a loud one.
+func RunServerBench(quick bool) *ServerBenchSuite {
+	// Six interleaved repetitions: throttle windows on the shared box are
+	// longer than one rep, so a config's best-of-6 reliably lands inside a
+	// quiet window and the cross-config ratios stabilise.
+	users, reps := 100, 6
+	// Large posts amortise HTTP transport (expensive in sandboxed kernels)
+	// so the measurement exercises the serving stack, not the socket.
+	concurrency, eventsPerPost := 8, 256
+	dims := []int{64, 128}
+	if quick {
+		users, reps = 50, 2
+		dims = []int{64}
+	}
+	log := server.ReplayLog(users, 1)
+
+	suite := &ServerBenchSuite{
+		SchemaVersion: 1,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Quick:         quick,
+		Users:         users,
+		Concurrency:   concurrency,
+		EventsPerPost: eventsPerPost,
+	}
+
+	var cfgs []serverBenchConfig
+	for _, d := range dims {
+		cfgs = append(cfgs, serverBenchConfig{"batch-1", d, 1, -1})
+		if !quick {
+			cfgs = append(cfgs, serverBenchConfig{"batch-16-wait-2ms", d, 16, 2 * time.Millisecond})
+		}
+		cfgs = append(cfgs, serverBenchConfig{"batch-32-wait-2ms", d, 32, 2 * time.Millisecond})
+		if !quick {
+			cfgs = append(cfgs, serverBenchConfig{"batch-32-wait-8ms", d, 32, 8 * time.Millisecond})
+		}
+	}
+
+	models := map[int]*core.Model{}
+	for _, d := range dims {
+		mcfg := core.DefaultConfig()
+		mcfg.HiddenDim = d
+		mcfg.MLPHidden = 64
+		// Throughput does not depend on the weights, so an untrained model
+		// keeps the suite train-free (like the parallel driver).
+		models[d] = core.New(synth.MobileTabSchema(), mcfg)
+	}
+
+	best := make([]*server.LoadReport, len(cfgs))
+	bestStats := make([]*server.Statz, len(cfgs))
+	for rep := 0; rep < reps; rep++ {
+		for i, c := range cfgs {
+			r, st, err := runServerOnce(models[c.d], c, concurrency, eventsPerPost, log)
+			if err != nil {
+				panic(fmt.Sprintf("server bench %s d=%d: %v", c.name, c.d, err))
+			}
+			if betterRun(r, best[i]) {
+				best[i], bestStats[i] = r, st
+			}
+		}
+	}
+
+	batch1 := map[int]float64{} // hidden dim -> batch-1 sessions/s
+	for i, c := range cfgs {
+		// The negative greedy-flush sentinel serialises as 0 (no wait).
+		waitMs := float64(c.maxWait.Nanoseconds()) / 1e6
+		if waitMs < 0 {
+			waitMs = 0
+		}
+		res := ServerBenchResult{
+			Config:         c.name,
+			HiddenDim:      c.d,
+			MaxBatch:       c.maxBatch,
+			MaxWaitMs:      waitMs,
+			Sessions:       best[i].Sessions,
+			SessionsPerSec: best[i].SessionsPerSec,
+			MeanBatch:      bestStats[i].MeanBatch,
+			Shed:           best[i].Shed,
+			Errors:         best[i].Errors,
+			EventLatency:   best[i].EventLatency,
+			PredictLatency: best[i].PredictLatency,
+		}
+		if c.maxBatch == 1 {
+			batch1[c.d] = best[i].SessionsPerSec
+		}
+		if base := batch1[c.d]; base > 0 {
+			res.SpeedupVsBatch1 = best[i].SessionsPerSec / base
+		}
+		suite.Results = append(suite.Results, res)
+	}
+	return suite
+}
+
+// betterRun ranks repetitions: a clean run (no shed, no errors) always
+// beats a dirty one — a shedding run finishes its wall-clock window early
+// and would otherwise post inflated sessions/s — and among equals the
+// higher throughput wins (the min-of-windows noise filter).
+func betterRun(r, cur *server.LoadReport) bool {
+	if cur == nil {
+		return true
+	}
+	rClean := r.Shed == 0 && r.PredictsShed == 0 && r.Errors == 0
+	curClean := cur.Shed == 0 && cur.PredictsShed == 0 && cur.Errors == 0
+	if rClean != curClean {
+		return rClean
+	}
+	return r.SessionsPerSec > cur.SessionsPerSec
+}
+
+// runServerOnce starts a fresh server on a loopback listener, replays the
+// log through the load generator, and tears the server down.
+func runServerOnce(m *core.Model, c serverBenchConfig, concurrency, eventsPerPost int, log []server.ReplayEvent) (*server.LoadReport, *server.Statz, error) {
+	srv := server.New(server.Options{
+		Model:     m,
+		Store:     serving.NewShardedKVStore(16),
+		Threshold: 0.5,
+		Lanes:     2,
+		MaxBatch:  c.maxBatch,
+		MaxWait:   c.maxWait,
+		// Big posts dispatch dues in ~100-session bursts; a deeper lane
+		// bound keeps the bench shed-free so configs stay comparable.
+		LaneDepth: 1024,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+	if err := server.WaitHealthy(base, 10*time.Second); err != nil {
+		return nil, nil, err
+	}
+	rep, err := server.RunLoad(server.LoadOptions{
+		BaseURL:       base,
+		Concurrency:   concurrency,
+		EventsPerPost: eventsPerPost,
+		PredictEvery:  16,
+		// A gentle sampling rate: each predict is a full HTTP round trip
+		// (~3ms of CPU in this sandbox), and the sampler must measure
+		// latency, not become the load.
+		PredictInterval: 40 * time.Millisecond,
+		Flush:           true,
+	}, log)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := server.FetchStatz(base, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, nil, err
+	}
+	<-serveDone
+	return rep, st, nil
+}
+
+// WriteJSON writes the suite to path (pretty-printed, trailing newline).
+func (s *ServerBenchSuite) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// tableHeader/tableRows are the one rendering of the suite, shared by the
+// tracked-bench table and the loadtest experiment so the two cannot
+// drift.
+func (s *ServerBenchSuite) tableHeader() []string {
+	return []string{"D", "CONFIG", "SESSIONS/S", "MEAN BATCH", "EVENT P50/P99 MS", "PREDICT P50/P99 MS", "SPEEDUP"}
+}
+
+func (s *ServerBenchSuite) tableRows() [][]string {
+	var rows [][]string
+	for _, b := range s.Results {
+		rows = append(rows, []string{
+			fint(b.HiddenDim), b.Config,
+			fmt.Sprintf("%.0f", b.SessionsPerSec),
+			fmt.Sprintf("%.1f", b.MeanBatch),
+			fmt.Sprintf("%.2f/%.2f", b.EventLatency.P50Ms, b.EventLatency.P99Ms),
+			fmt.Sprintf("%.2f/%.2f", b.PredictLatency.P50Ms, b.PredictLatency.P99Ms),
+			fmt.Sprintf("%.2fx", b.SpeedupVsBatch1),
+		})
+	}
+	return rows
+}
+
+// Render formats the suite as the standard report table for stdout.
+func (s *ServerBenchSuite) Render() string {
+	r := &Report{
+		ID:     "bench-server",
+		Title:  "Online HTTP serving benchmark (micro-batched finalisation vs batch-1 server)",
+		Header: s.tableHeader(),
+		Rows:   s.tableRows(),
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"closed loop: %d connections, %d events/post, %d users' replay log; go %s %s/%s GOMAXPROCS=%d quick=%v",
+		s.Concurrency, s.EventsPerPost, s.Users, s.GoVersion, s.GOOS, s.GOARCH, s.GOMAXPROCS, s.Quick))
+	return r.Render()
+}
+
+// Loadtest is the experiment-driver wrapper: it runs the quick shape of
+// the server bench (the tracked full-mode JSON comes from
+// `ppbench -bench server`) and renders the table.
+func (l *Lab) Loadtest() *Report {
+	suite := RunServerBench(true)
+	r := &Report{
+		ID:     "loadtest",
+		Title:  "Online HTTP serving load test (quick shape; full numbers in BENCH_server.json)",
+		Header: suite.tableHeader(),
+		Rows:   suite.tableRows(),
+	}
+	r.Notes = append(r.Notes,
+		"micro-batched finalisation vs batch-size-1 server over real HTTP traffic; states stay byte-identical to sequential replay (parity gate)")
+	return r
+}

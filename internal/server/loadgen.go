@@ -1,0 +1,467 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/serving"
+	"repro/internal/synth"
+)
+
+// The load generator replays an event log over the HTTP API, closed- or
+// open-loop, and reports latency histograms. It is shared by cmd/ppload
+// (standalone driver) and the loadtest experiment (in-process benchmark),
+// and its per-user ordering rules are what make the HTTP replay parity-
+// comparable with in-process sequential replay: users are sharded across
+// workers (a user's events stay on one connection, in timestamp order) and
+// a session's start and access events always ride the same POST.
+
+// ReplayEvent is one session of the replay log: a start event plus an
+// optional access 30 virtual seconds later (the same shape ppserve's
+// offline replay drives in-process).
+type ReplayEvent struct {
+	SID    string
+	User   int
+	Ts     int64
+	Cat    []int
+	Access bool
+}
+
+// ReplayCohort generates the deterministic MobileTab serving cohort:
+// users*2 synthetic users, half for training, half replayed. ppserve,
+// ppload and the loadtest experiment all derive their cohorts (and so
+// their replay logs) from this one function, which is what makes the HTTP
+// parity gate compare identical traffic and identically-trained models by
+// construction.
+func ReplayCohort(users int, seed uint64) (*dataset.Dataset, dataset.Split) {
+	cfg := synth.DefaultMobileTab()
+	cfg.Users = users * 2
+	cfg.Seed = seed
+	data := synth.GenerateMobileTab(cfg)
+	return data, dataset.SplitUsers(data, 0.5, seed)
+}
+
+// ReplayLog builds the timestamp-ordered replay log of the held-out
+// cohort half — the exact event stream ppserve's offline mode replays
+// in-process.
+func ReplayLog(users int, seed uint64) []ReplayEvent {
+	_, split := ReplayCohort(users, seed)
+	return LogFromDataset(split.Test)
+}
+
+// LogFromDataset flattens a dataset (e.g. a ppgen file) into a
+// timestamp-ordered replay log.
+func LogFromDataset(d *dataset.Dataset) []ReplayEvent {
+	var evs []ReplayEvent
+	for _, u := range d.Users {
+		for i, s := range u.Sessions {
+			evs = append(evs, ReplayEvent{
+				SID:    fmt.Sprintf("u%d-s%d", u.ID, i),
+				User:   u.ID,
+				Ts:     s.Timestamp,
+				Cat:    s.Cat,
+				Access: s.Access,
+			})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	return evs
+}
+
+// LoadOptions configures one load run.
+type LoadOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Concurrency is the number of closed-loop connections; users are
+	// sharded across them by hash (<=0 selects 8).
+	Concurrency int
+	// EventsPerPost coalesces this many events per POST /event (<=0
+	// selects 16). A session's start+access pair is never split.
+	EventsPerPost int
+	// PredictEvery enables predict-latency sampling: a dedicated sampler
+	// connection strides the log by this many sessions, posting one
+	// /predict per PredictInterval while the event replay runs (0 = no
+	// predictions). Sampling rides its own connection so latency is
+	// measured under load without throttling the event stream.
+	PredictEvery int
+	// PredictInterval paces the predict sampler (<=0 selects 10ms).
+	PredictInterval time.Duration
+	// RatePerSec paces the run open-loop at this many sessions/s across
+	// all workers (0 = closed loop: send as fast as responses return).
+	RatePerSec float64
+	// Flush POSTs /flush after the replay (inside the timed window — the
+	// drain is part of the served work).
+	Flush bool
+	// Client overrides the HTTP client (nil selects a pooled default).
+	Client *http.Client
+}
+
+// LatencyStats summarises one endpoint's request latencies.
+type LatencyStats struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	// Sessions is the log size; SessionsAccepted counts sessions the
+	// server actually admitted (a shed post's sessions are excluded).
+	// SessionsPerSec is accepted sessions over wall time, so shedding
+	// cannot inflate throughput.
+	Sessions         int `json:"sessions"`
+	SessionsAccepted int `json:"sessions_accepted"`
+	Events           int `json:"events"`
+	Posts            int `json:"posts"`
+	Predicts         int `json:"predicts"`
+	// Shed counts shed *events* (a 429 event post sheds its whole batch);
+	// PredictsShed counts shed predict *requests* — different units, so
+	// they are reported separately.
+	Shed           int          `json:"shed"`
+	PredictsShed   int          `json:"predicts_shed"`
+	Errors         int          `json:"errors"`
+	WallMs         float64      `json:"wall_ms"`
+	SessionsPerSec float64      `json:"sessions_per_sec"`
+	EventLatency   LatencyStats `json:"event_latency"`
+	PredictLatency LatencyStats `json:"predict_latency"`
+}
+
+// loadWorker drives one connection's share of the log.
+type loadWorker struct {
+	opts         LoadOptions
+	client       *http.Client
+	sessions     []ReplayEvent
+	eventLat     []float64
+	predictLat   []float64
+	events       int
+	sessionsOK   int // sessions whose post was accepted
+	posts        int
+	predicts     int
+	shed         int // events shed via 429
+	predictsShed int // predict requests shed via 429
+	errors       int
+}
+
+// RunLoad replays log over the HTTP API and reports throughput and latency.
+// The returned error covers setup problems only; per-request failures are
+// counted in the report.
+func RunLoad(opts LoadOptions, log []ReplayEvent) (*LoadReport, error) {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.EventsPerPost <= 0 {
+		opts.EventsPerPost = 16
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: opts.Concurrency * 2,
+			},
+		}
+	}
+
+	// Shard sessions by user: all of a user's sessions ride one worker, in
+	// log (timestamp) order — the ordering contract the parity gate needs.
+	workers := make([]*loadWorker, opts.Concurrency)
+	for i := range workers {
+		workers[i] = &loadWorker{opts: opts, client: client}
+	}
+	for _, ev := range log {
+		w := workers[serving.UserLane(ev.User, len(workers))]
+		w.sessions = append(w.sessions, ev)
+	}
+
+	t0 := time.Now()
+	done := make(chan struct{})
+	for _, w := range workers {
+		go func(w *loadWorker) {
+			defer func() { done <- struct{}{} }()
+			w.run(t0)
+		}(w)
+	}
+	var sampler *loadWorker
+	stopSampler := make(chan struct{})
+	samplerDone := make(chan struct{})
+	if opts.PredictEvery > 0 && len(log) > 0 {
+		sampler = &loadWorker{opts: opts, client: client}
+		go func() {
+			defer close(samplerDone)
+			sampler.samplePredicts(log, stopSampler)
+		}()
+	}
+	for range workers {
+		<-done
+	}
+	if sampler != nil {
+		close(stopSampler)
+		<-samplerDone
+	}
+	if opts.Flush {
+		if _, err := Flush(opts.BaseURL, client); err != nil {
+			return nil, fmt.Errorf("flush: %w", err)
+		}
+	}
+	wall := time.Since(t0)
+
+	rep := &LoadReport{
+		Sessions: len(log),
+		WallMs:   float64(wall.Nanoseconds()) / 1e6,
+	}
+	var evLat, prLat []float64
+	for _, w := range workers {
+		rep.Events += w.events
+		rep.SessionsAccepted += w.sessionsOK
+		rep.Posts += w.posts
+		rep.Predicts += w.predicts
+		rep.Shed += w.shed
+		rep.PredictsShed += w.predictsShed
+		rep.Errors += w.errors
+		evLat = append(evLat, w.eventLat...)
+		prLat = append(prLat, w.predictLat...)
+	}
+	if sampler != nil {
+		rep.Predicts += sampler.predicts
+		rep.PredictsShed += sampler.predictsShed
+		rep.Errors += sampler.errors
+		prLat = append(prLat, sampler.predictLat...)
+	}
+	rep.SessionsPerSec = float64(rep.SessionsAccepted) / wall.Seconds()
+	rep.EventLatency = summarize(evLat)
+	rep.PredictLatency = summarize(prLat)
+	return rep, nil
+}
+
+// samplePredicts is the predict-latency side channel: it strides the log,
+// posting one predict per interval until the event replay finishes (at
+// least one is always posted).
+func (w *loadWorker) samplePredicts(log []ReplayEvent, stop <-chan struct{}) {
+	interval := w.opts.PredictInterval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	for i := 0; ; i++ {
+		w.postPredict(log[(i*w.opts.PredictEvery)%len(log)])
+		select {
+		case <-stop:
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// run replays the worker's sessions: coalesce events into posts (keeping
+// each session's start+access pair whole), pace if open-loop.
+func (w *loadWorker) run(start time.Time) {
+	chunk := make([]Event, 0, w.opts.EventsPerPost+1)
+	var sent int
+	pace := func() {
+		if w.opts.RatePerSec <= 0 {
+			return
+		}
+		perWorker := w.opts.RatePerSec / float64(w.opts.Concurrency)
+		due := start.Add(time.Duration(float64(sent) / perWorker * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	flushChunk := func() {
+		if len(chunk) == 0 {
+			return
+		}
+		w.postEvents(chunk)
+		chunk = chunk[:0]
+	}
+	for _, ev := range w.sessions {
+		pace()
+		// Keep the pair atomic: flush first if it would not fit whole.
+		if len(chunk)+2 > cap(chunk) {
+			flushChunk()
+		}
+		chunk = append(chunk, Event{Type: "start", Session: ev.SID, User: ev.User, Ts: ev.Ts, Cat: ev.Cat})
+		if ev.Access {
+			chunk = append(chunk, Event{Type: "access", Session: ev.SID, Ts: ev.Ts + 30})
+		}
+		if len(chunk) >= w.opts.EventsPerPost {
+			flushChunk()
+		}
+		sent++
+	}
+	flushChunk()
+}
+
+func (w *loadWorker) postEvents(evs []Event) {
+	starts := 0
+	for _, ev := range evs {
+		if ev.Type == "start" {
+			starts++
+		}
+	}
+	body, _ := json.Marshal(evs)
+	t0 := time.Now()
+	resp, err := w.client.Post(w.opts.BaseURL+"/event", "application/json", bytes.NewReader(body))
+	lat := float64(time.Since(t0).Nanoseconds()) / 1e6
+	w.posts++
+	if err != nil {
+		w.errors++
+		return
+	}
+	resp.Body.Close()
+	w.eventLat = append(w.eventLat, lat)
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+		w.events += len(evs)
+		w.sessionsOK += starts
+	case resp.StatusCode == http.StatusTooManyRequests:
+		w.shed += len(evs)
+	default:
+		w.errors++
+	}
+}
+
+func (w *loadWorker) postPredict(ev ReplayEvent) {
+	body, _ := json.Marshal(PredictIn{User: ev.User, Ts: ev.Ts, Cat: ev.Cat})
+	t0 := time.Now()
+	resp, err := w.client.Post(w.opts.BaseURL+"/predict", "application/json", bytes.NewReader(body))
+	lat := float64(time.Since(t0).Nanoseconds()) / 1e6
+	if err != nil {
+		w.errors++
+		return
+	}
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		w.predicts++
+		w.predictLat = append(w.predictLat, lat)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		w.predictsShed++
+	default:
+		w.errors++
+	}
+}
+
+// summarize sorts latencies and extracts the histogram quantiles.
+func summarize(lat []float64) LatencyStats {
+	if len(lat) == 0 {
+		return LatencyStats{}
+	}
+	sort.Float64s(lat)
+	q := func(p float64) float64 {
+		i := int(p*float64(len(lat))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	return LatencyStats{
+		Count: len(lat),
+		P50Ms: q(0.50),
+		P90Ms: q(0.90),
+		P95Ms: q(0.95),
+		P99Ms: q(0.99),
+		MaxMs: lat[len(lat)-1],
+	}
+}
+
+// ---- client helpers for the control endpoints ----
+
+// Flush POSTs /flush and returns the server's completed update count.
+func Flush(baseURL string, client *http.Client) (updatesRun int64, err error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(baseURL+"/flush", "application/json", nil)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("flush: HTTP %d", resp.StatusCode)
+	}
+	var out struct {
+		UpdatesRun int64 `json:"updates_run"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.UpdatesRun, nil
+}
+
+// Digest GETs /digest and returns the server's resident-state digest.
+func Digest(baseURL string, client *http.Client) (keys int, digest string, err error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(baseURL + "/digest")
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", fmt.Errorf("digest: HTTP %d", resp.StatusCode)
+	}
+	var out struct {
+		Keys   int    `json:"keys"`
+		Digest string `json:"digest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, "", err
+	}
+	return out.Keys, out.Digest, nil
+}
+
+// FetchStatz GETs /statz.
+func FetchStatz(baseURL string, client *http.Client) (*Statz, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(baseURL + "/statz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("statz: HTTP %d", resp.StatusCode)
+	}
+	var out Statz
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitHealthy polls /healthz until the server answers or the timeout
+// elapses. Each probe has its own short timeout so one hung request
+// cannot defeat the overall deadline.
+func WaitHealthy(baseURL string, timeout time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not healthy after %s: %w", timeout, err)
+			}
+			return fmt.Errorf("server not healthy after %s", timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,699 @@
+// Package server is the request-driven online serving tier of §9: an
+// HTTP/JSON API over the prediction service and the stream processor,
+// backed by a dynamic micro-batcher. Session-start and access events are
+// ingested through the stream processor's async submit seam; due sessions
+// park in bounded per-shard queues and are coalesced — flush on max-batch
+// or max-wait — into the wave-partitioned batched GEMM finaliser, so GEMM
+// batch sizes form from real traffic instead of replay lanes. Concurrent
+// predict requests ride an analogous bounded queue into the fan-out batch
+// prediction path.
+//
+// Ordering and parity: a user's events must arrive in timestamp order (the
+// load generator shards users across connections to guarantee it), a
+// session's start and access events ride the same POST (ingested under one
+// ingest-lock hold), and a user always hashes to the same finalisation
+// queue. Under those rules the stored hidden states are byte-identical to
+// sequential in-process replay of the same event log — the /digest endpoint
+// exposes the proof.
+//
+// Backpressure: when the finalisation backlog reaches the queue capacity,
+// POST /event returns 429 and the shed counter advances; when the predict
+// queue is full, POST /predict does the same. Bounded queues shed load
+// instead of growing without limit.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serving"
+	"repro/internal/statestore"
+)
+
+// Event is one stream event in the HTTP API (and the unit of the replay
+// logs ppload sends). Type "start" opens a session (User, Cat and Ts are
+// the §9 context variables); type "access" marks the session's activity
+// accessed.
+type Event struct {
+	Type    string `json:"type"`
+	Session string `json:"session"`
+	User    int    `json:"user,omitempty"`
+	Ts      int64  `json:"ts"`
+	Cat     []int  `json:"cat,omitempty"`
+}
+
+// PredictIn is the POST /predict request body.
+type PredictIn struct {
+	User int   `json:"user"`
+	Ts   int64 `json:"ts"`
+	Cat  []int `json:"cat,omitempty"`
+}
+
+// PredictOut is the POST /predict response body.
+type PredictOut struct {
+	Probability float64 `json:"probability"`
+	Precompute  bool    `json:"precompute"`
+}
+
+// Statz is the GET /statz response body.
+type Statz struct {
+	UptimeSec       float64                    `json:"uptime_sec"`
+	Events          int64                      `json:"events"`
+	EventsShed      int64                      `json:"events_shed"`
+	Predicts        int64                      `json:"predicts"`
+	PredictsShed    int64                      `json:"predicts_shed"`
+	Precomputes     int64                      `json:"precomputes"`
+	ColdStarts      int64                      `json:"cold_starts"`
+	DecodeFailures  int64                      `json:"decode_failures"`
+	UpdatesRun      int64                      `json:"updates_run"`
+	PendingSessions int                        `json:"pending_sessions"`
+	Inflight        int                        `json:"inflight"`
+	Batches         int64                      `json:"batches"`
+	MeanBatch       float64                    `json:"mean_batch"`
+	Store           serving.Stats              `json:"store"`
+	Lifecycle       *statestore.LifecycleStats `json:"lifecycle,omitempty"`
+}
+
+// Options configures a Server.
+type Options struct {
+	Model *core.Model
+	Store serving.Store
+	// State, when non-nil, is the durable tier behind Store: graceful
+	// shutdown forces a final snapshot on it (the caller closes it).
+	State *statestore.Store
+	// Threshold is the precompute decision boundary.
+	Threshold float64
+
+	// Lanes is the number of finalisation shards — bounded queues, each
+	// drained by one flusher goroutine (<=0 selects GOMAXPROCS). A user
+	// always hashes to the same lane, which preserves per-user update
+	// order.
+	Lanes int
+	// MaxBatch flushes a queue when this many sessions have parked
+	// (<=0 selects 32). It also bounds the GEMM batch, so it is the online
+	// analogue of ppserve's -infer-batch.
+	MaxBatch int
+	// MaxWait flushes a partial batch this long after the queue went
+	// non-empty. 0 selects 2ms; negative disables waiting (greedy flush —
+	// the batch-size-1 behaviour when MaxBatch is 1).
+	MaxWait time.Duration
+	// LaneDepth bounds each finalisation queue (<=0 selects 256). Admission
+	// control sheds events with 429 once Lanes*LaneDepth finalisations are
+	// in flight.
+	LaneDepth int
+	// PredictDepth bounds the predict queue (<=0 selects 1024).
+	PredictDepth int
+	// PredictWorkers is the fan-out inside one predict batch (<=0 selects
+	// GOMAXPROCS).
+	PredictWorkers int
+}
+
+// predictItem is one parked predict request and its reply channel.
+type predictItem struct {
+	req serving.PredictRequest
+	ch  chan serving.Decision
+}
+
+// Server is the online serving tier. Create with New, serve with
+// ListenAndServe/Serve (or mount Handler in a test server), stop with
+// Shutdown.
+type Server struct {
+	opts Options
+	svc  *serving.PredictionService
+
+	// mu guards the ingest half (proc and draining). The sink dispatches
+	// lane sends under mu; flushers never take mu, so the blocking send
+	// cannot deadlock.
+	mu       sync.Mutex
+	proc     *serving.StreamProcessor
+	draining bool
+
+	lanes       []chan serving.DueSession
+	flushers    sync.WaitGroup
+	maxInflight int
+
+	predictMu     sync.RWMutex
+	predictQ      chan predictItem
+	predictClosed bool
+	predictWG     sync.WaitGroup
+
+	// inflight counts dispatched-but-unfinalised sessions; cond wakes
+	// /flush and Shutdown waiters when the pipeline drains.
+	inflightMu   sync.Mutex
+	inflightCond *sync.Cond
+	inflight     int
+
+	events       atomic.Int64
+	eventsShed   atomic.Int64
+	predicts     atomic.Int64
+	predictsShed atomic.Int64
+	updatesRun   atomic.Int64
+	batches      atomic.Int64
+
+	start time.Time
+	mux   *http.ServeMux
+	// httpMu guards httpSrv: ListenAndServe/Serve register it while
+	// Shutdown (typically a signal goroutine) reads it.
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+	shutdown atomic.Bool
+}
+
+// New wires the serving stack and starts the flusher goroutines. The
+// server owns its queues and flushers; the model, store and statestore
+// stay caller-owned.
+func New(opts Options) *Server {
+	if opts.Lanes <= 0 {
+		opts.Lanes = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 32
+	}
+	if opts.MaxWait == 0 {
+		opts.MaxWait = 2 * time.Millisecond
+	}
+	if opts.LaneDepth <= 0 {
+		opts.LaneDepth = 256
+	}
+	if opts.PredictDepth <= 0 {
+		opts.PredictDepth = 1024
+	}
+	if opts.PredictWorkers <= 0 {
+		opts.PredictWorkers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		opts:        opts,
+		svc:         serving.NewPredictionService(opts.Model, opts.Store, opts.Threshold),
+		proc:        serving.NewStreamProcessor(opts.Model, opts.Store),
+		lanes:       make([]chan serving.DueSession, opts.Lanes),
+		maxInflight: opts.Lanes * opts.LaneDepth,
+		predictQ:    make(chan predictItem, opts.PredictDepth),
+		start:       time.Now(),
+	}
+	s.inflightCond = sync.NewCond(&s.inflightMu)
+	s.proc.SetSink(s.submitDue)
+	for i := range s.lanes {
+		lane := make(chan serving.DueSession, opts.LaneDepth)
+		s.lanes[i] = lane
+		s.flushers.Add(1)
+		go s.runFlusher(lane)
+	}
+	s.predictWG.Add(1)
+	go s.runPredictFlusher()
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/event", s.handleEvent)
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/flush", s.handleFlush)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/digest", s.handleDigest)
+	return s
+}
+
+// Handler returns the API mux (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// registerHTTP installs the http.Server unless shutdown already latched
+// (a SIGTERM can land before the listener starts; serving would then be
+// unstoppable). Returns false when the server must not start.
+func (s *Server) registerHTTP(h *http.Server) bool {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	if s.shutdown.Load() {
+		return false
+	}
+	s.httpSrv = h
+	return true
+}
+
+// ListenAndServe serves the API on addr until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	h := &http.Server{Addr: addr, Handler: s.mux}
+	if !s.registerHTTP(h) {
+		return nil
+	}
+	err := h.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Serve serves the API on an existing listener until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	h := &http.Server{Handler: s.mux}
+	if !s.registerHTTP(h) {
+		return nil
+	}
+	err := h.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server gracefully: stop accepting requests, let
+// in-flight handlers finish, fire every outstanding session timer (a
+// buffered session's update is applied rather than lost), wait for the
+// micro-batcher to drain, and force a final statestore snapshot so a clean
+// reopen recovers byte-identical states. The whole drain is bounded by
+// ctx — on expiry Shutdown returns the context error (after a best-effort
+// snapshot of whatever has landed) instead of hanging on a stuck store.
+// Idempotent; the caller closes the statestore afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.shutdown.Swap(true) {
+		return nil
+	}
+	var err error
+	s.httpMu.Lock()
+	h := s.httpSrv
+	s.httpMu.Unlock()
+	if h != nil {
+		err = h.Shutdown(ctx)
+	}
+	// After draining latches (under mu), no handler dispatches again, so
+	// closing the queues is safe: flushers finish whatever is parked and
+	// exit — their WaitGroups double as the drain barrier.
+	s.mu.Lock()
+	s.draining = true
+	s.proc.Flush()
+	s.mu.Unlock()
+	for _, lane := range s.lanes {
+		close(lane)
+	}
+	s.predictMu.Lock()
+	s.predictClosed = true
+	close(s.predictQ)
+	s.predictMu.Unlock()
+	if werr := waitGroupCtx(ctx, &s.flushers); werr != nil && err == nil {
+		err = werr
+	}
+	if werr := waitGroupCtx(ctx, &s.predictWG); werr != nil && err == nil {
+		err = werr
+	}
+	if s.opts.State != nil {
+		if serr := s.opts.State.Snapshot(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// waitGroupCtx waits for wg or the context, whichever first. On ctx
+// expiry the waiter goroutine stays parked until the group eventually
+// drains — acceptable because a timed-out drain means flusher goroutines
+// are already stuck; the waiter adds nothing to what leaked.
+func waitGroupCtx(ctx context.Context, wg *sync.WaitGroup) error {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---- finalisation micro-batcher ----
+
+// laneFor maps a user to a finalisation lane via the shared partitioning
+// function — all of a user's sessions land on one lane.
+func (s *Server) laneFor(userID int) chan serving.DueSession {
+	return s.lanes[serving.UserLane(userID, len(s.lanes))]
+}
+
+// submitDue is the processor's sink: it runs under s.mu (inside Advance),
+// so dispatch order is drain order. The lane send blocks when the lane is
+// full — flushers never take s.mu, so this backpressure cannot deadlock,
+// and admission control keeps it rare.
+func (s *Server) submitDue(d serving.DueSession) {
+	s.inflightMu.Lock()
+	s.inflight++
+	s.inflightMu.Unlock()
+	s.laneFor(d.UserID) <- d
+}
+
+// retire counts n finalised sessions and wakes drain waiters.
+func (s *Server) retire(n int) {
+	s.updatesRun.Add(int64(n))
+	s.inflightMu.Lock()
+	s.inflight -= n
+	if s.inflight == 0 {
+		s.inflightCond.Broadcast()
+	}
+	s.inflightMu.Unlock()
+}
+
+// waitIdle blocks until no dispatched finalisation is outstanding.
+func (s *Server) waitIdle() {
+	s.inflightMu.Lock()
+	for s.inflight > 0 {
+		s.inflightCond.Wait()
+	}
+	s.inflightMu.Unlock()
+}
+
+// overloaded reports whether the finalisation backlog has reached the
+// admission watermark — globally, or on any single lane. The per-lane
+// check matters under skew: a hot lane fills long before the global
+// watermark trips, and without it the sink's lane send would block the
+// ingest lock (head-of-line blocking every endpoint) instead of shedding.
+// Channel len/cap reads are racy by nature; admission is approximate and
+// errs by shedding a post early, never by unbounded queueing.
+func (s *Server) overloaded() bool {
+	s.inflightMu.Lock()
+	over := s.inflight >= s.maxInflight
+	s.inflightMu.Unlock()
+	if over {
+		return true
+	}
+	for _, lane := range s.lanes {
+		if len(lane) == cap(lane) {
+			return true
+		}
+	}
+	return false
+}
+
+// runFlusher drains one lane: take the first parked session, coalesce up
+// to MaxBatch (waiting at most MaxWait for stragglers), then finalise the
+// batch through the wave-partitioned GEMM cell.
+func (s *Server) runFlusher(lane chan serving.DueSession) {
+	defer s.flushers.Done()
+	fin := serving.NewBatchFinalizer(s.opts.Model, s.opts.Store, s.opts.MaxBatch)
+	batch := make([]serving.DueSession, 0, s.opts.MaxBatch)
+	for d := range lane {
+		batch = append(batch[:0], d)
+		fillBatch(lane, &batch, s.opts.MaxBatch, s.opts.MaxWait)
+		fin.Finalize(batch)
+		s.batches.Add(1)
+		s.retire(len(batch))
+	}
+}
+
+// fillBatch coalesces queued items into batch: greedily take whatever is
+// already parked, then wait up to maxWait for a fuller flush. Flushes
+// early when the batch fills or the queue closes.
+func fillBatch[T any](q chan T, batch *[]T, maxBatch int, maxWait time.Duration) {
+	for len(*batch) < maxBatch {
+		select {
+		case d, ok := <-q:
+			if !ok {
+				return
+			}
+			*batch = append(*batch, d)
+			continue
+		default:
+		}
+		if maxWait <= 0 {
+			return
+		}
+		timer := time.NewTimer(maxWait)
+		for len(*batch) < maxBatch {
+			select {
+			case d, ok := <-q:
+				if !ok {
+					timer.Stop()
+					return
+				}
+				*batch = append(*batch, d)
+			case <-timer.C:
+				return
+			}
+		}
+		timer.Stop()
+		return
+	}
+}
+
+// ---- predict micro-batcher ----
+
+// runPredictFlusher coalesces parked predict requests and serves them
+// through the fan-out batch prediction path, answering each parked
+// request on its reply channel.
+func (s *Server) runPredictFlusher() {
+	defer s.predictWG.Done()
+	items := make([]predictItem, 0, s.opts.MaxBatch)
+	reqs := make([]serving.PredictRequest, 0, s.opts.MaxBatch)
+	for it := range s.predictQ {
+		items = append(items[:0], it)
+		fillBatch(s.predictQ, &items, s.opts.MaxBatch, s.opts.MaxWait)
+		reqs = reqs[:0]
+		for _, it := range items {
+			reqs = append(reqs, it.req)
+		}
+		decs := s.svc.OnSessionStartBatch(reqs, s.opts.PredictWorkers)
+		for i := range items {
+			items[i].ch <- decs[i]
+		}
+		s.predicts.Add(int64(len(items)))
+	}
+}
+
+// ---- handlers ----
+
+const maxBodyBytes = 8 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// checkCat validates a request's context categories against the model
+// schema. The feature encoders index by category value, so an unchecked
+// out-of-range request would panic a flusher goroutine instead of
+// returning 400.
+func (s *Server) checkCat(cat []int) error {
+	schema := s.opts.Model.Schema
+	if len(cat) != len(schema.Cat) {
+		return fmt.Errorf("cat needs %d entries, got %d", len(schema.Cat), len(cat))
+	}
+	for i, c := range cat {
+		if c < 0 || c >= schema.Cat[i].Cardinality {
+			return fmt.Errorf("cat[%d]=%d outside [0,%d)", i, c, schema.Cat[i].Cardinality)
+		}
+	}
+	return nil
+}
+
+// handleEvent ingests one event or a JSON array of events. The whole post
+// is admitted or shed as a unit, and is ingested under one ingest-lock
+// hold — which is what lets clients keep a session's start and access
+// events atomic (ride the same post) so no later clock advance can fire
+// the timer between them.
+func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var evs []Event
+	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+		err = json.Unmarshal(trimmed, &evs)
+	} else {
+		var ev Event
+		err = json.Unmarshal(body, &ev)
+		evs = []Event{ev}
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding events: "+err.Error())
+		return
+	}
+	for _, ev := range evs {
+		switch ev.Type {
+		case "start":
+			if ev.Session == "" || ev.User < 0 || ev.Ts <= 0 {
+				writeErr(w, http.StatusBadRequest, "start event needs session, user >= 0 and ts > 0")
+				return
+			}
+			if err := s.checkCat(ev.Cat); err != nil {
+				writeErr(w, http.StatusBadRequest, "start event: "+err.Error())
+				return
+			}
+		case "access":
+			if ev.Session == "" || ev.Ts <= 0 {
+				writeErr(w, http.StatusBadRequest, "access event needs session and ts > 0")
+				return
+			}
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown event type %q", ev.Type))
+			return
+		}
+	}
+	if s.overloaded() {
+		s.eventsShed.Add(int64(len(evs)))
+		writeErr(w, http.StatusTooManyRequests, "finalisation backlog full, event shed")
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	for _, ev := range evs {
+		if ev.Type == "start" {
+			s.proc.OnSessionStart(ev.Session, ev.User, ev.Ts, ev.Cat)
+		} else {
+			s.proc.OnAccess(ev.Session, ev.Ts)
+		}
+	}
+	s.mu.Unlock()
+	s.events.Add(int64(len(evs)))
+	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(evs)})
+}
+
+// handlePredict parks the request in the predict queue and waits for the
+// micro-batched decision.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var in PredictIn
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&in); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	if in.User < 0 || in.Ts <= 0 {
+		writeErr(w, http.StatusBadRequest, "predict needs user >= 0 and ts > 0")
+		return
+	}
+	if err := s.checkCat(in.Cat); err != nil {
+		writeErr(w, http.StatusBadRequest, "predict: "+err.Error())
+		return
+	}
+	it := predictItem{
+		req: serving.PredictRequest{UserID: in.User, Ts: in.Ts, Cat: in.Cat},
+		ch:  make(chan serving.Decision, 1),
+	}
+	s.predictMu.RLock()
+	if s.predictClosed {
+		s.predictMu.RUnlock()
+		writeErr(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	select {
+	case s.predictQ <- it:
+		s.predictMu.RUnlock()
+	default:
+		s.predictMu.RUnlock()
+		s.predictsShed.Add(1)
+		writeErr(w, http.StatusTooManyRequests, "predict queue full, request shed")
+		return
+	}
+	dec := <-it.ch
+	writeJSON(w, http.StatusOK, PredictOut{Probability: dec.Probability, Precompute: dec.Precompute})
+}
+
+// handleFlush fires every outstanding session timer and waits for the
+// micro-batcher to drain — the end-of-replay barrier load generators call
+// before taking a digest.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.mu.Lock()
+	s.proc.Flush()
+	pending := s.proc.Pending()
+	s.mu.Unlock()
+	s.waitIdle()
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"updates_run": s.updatesRun.Load(),
+		"pending":     int64(pending),
+	})
+}
+
+// handleDigest returns the SHA-256 digest of the resident state. A digest
+// taken mid-traffic matches no consistent store state, so the endpoint
+// refuses with 409 while sessions are buffered or finalisations are in
+// flight — POST /flush first (the check is best-effort: quiescing the
+// traffic source is the caller's job).
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	pending := s.proc.Pending()
+	s.mu.Unlock()
+	s.inflightMu.Lock()
+	inflight := s.inflight
+	s.inflightMu.Unlock()
+	if pending > 0 || inflight > 0 {
+		writeErr(w, http.StatusConflict, fmt.Sprintf(
+			"%d sessions pending, %d finalisations in flight — POST /flush first", pending, inflight))
+		return
+	}
+	digest, keys := serving.StateDigest(s.opts.Store)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"keys":   keys,
+		"digest": digest,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleStatz reports the serving tier's counters.
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the server's counters (the /statz payload).
+func (s *Server) Stats() Statz {
+	s.mu.Lock()
+	pending := s.proc.Pending()
+	s.mu.Unlock()
+	s.inflightMu.Lock()
+	inflight := s.inflight
+	s.inflightMu.Unlock()
+	st := Statz{
+		UptimeSec:       time.Since(s.start).Seconds(),
+		Events:          s.events.Load(),
+		EventsShed:      s.eventsShed.Load(),
+		Predicts:        s.predicts.Load(),
+		PredictsShed:    s.predictsShed.Load(),
+		Precomputes:     s.svc.Precomputes.Load(),
+		ColdStarts:      s.svc.ColdStarts.Load(),
+		DecodeFailures:  s.svc.DecodeFailures.Load(),
+		UpdatesRun:      s.updatesRun.Load(),
+		PendingSessions: pending,
+		Inflight:        inflight,
+		Batches:         s.batches.Load(),
+		Store:           s.opts.Store.Stats(),
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(st.UpdatesRun) / float64(st.Batches)
+	}
+	if s.opts.State != nil {
+		ls := s.opts.State.Lifecycle()
+		st.Lifecycle = &ls
+	}
+	return st
+}

@@ -1,0 +1,149 @@
+package serving
+
+import (
+	"container/heap"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// The async submit/notify seam: a request-driven server cannot live inside
+// the synchronous drain loop (Advance finalising due sessions inline on the
+// caller's goroutine), because finalisation is the expensive part and must
+// be coalesced across concurrent requests. SetSink inverts the processor
+// into an ingest-only front half — session buffers, finalisation timers,
+// virtual clock — that hands due sessions to an external sink in drain
+// order, and BatchFinalizer is the matching back half: it applies groups of
+// due sessions through the wave-partitioned batched GEMM cell, preserving
+// the same per-user ordering and byte-identity guarantees as the inline
+// paths. internal/server parks the sink's output in bounded per-shard
+// queues and flushes them on max-batch/max-wait.
+
+// DueSession is one finalisation-ready session: the joined view of a
+// session's start context and access events at the moment its timer fires.
+// It is what an async sink finalises.
+type DueSession struct {
+	UserID   int
+	Start    int64
+	Cat      []int
+	Accessed bool
+}
+
+// SetSink diverts due sessions to sink instead of finalising them inline:
+// Advance becomes a non-blocking submit path and the sink owner decides
+// when (and how batched) the GRU updates run. The sink is called in drain
+// order while the processor's invariants hold, so a sink that preserves
+// per-user FIFO order (e.g. hash-partitioned queues) keeps stored states
+// byte-identical to the inline path. Passing nil restores inline
+// finalisation.
+func (p *StreamProcessor) SetSink(sink func(DueSession)) { p.sink = sink }
+
+// drainToSink pops every due timer in order and hands the sessions to the
+// sink. UpdatesRun is not advanced here — the sink owner counts completed
+// finalisations.
+func (p *StreamProcessor) drainToSink(ts int64) {
+	for len(p.timers) > 0 && p.timers[0].fireAt <= ts {
+		e := heap.Pop(&p.timers).(timerEntry)
+		p.now = e.fireAt
+		if buf, ok := p.buffers[e.sessionID]; ok {
+			delete(p.buffers, e.sessionID)
+			p.sink(DueSession{
+				UserID:   buf.userID,
+				Start:    buf.start,
+				Cat:      buf.cat,
+				Accessed: buf.accessed,
+			})
+		}
+	}
+	if ts > p.now {
+		p.now = ts
+	}
+}
+
+// BatchFinalizer applies groups of due sessions through the batched GEMM
+// cell, exactly like the inline batched path: groups are wave-partitioned
+// by per-user step depth, waves run sequentially, and stored states stay
+// byte-identical to per-session finalisation. A finalizer owns its scratch,
+// so each instance must be used from one goroutine at a time (one per queue
+// flusher); the store may be shared.
+type BatchFinalizer struct {
+	model    *core.Model
+	store    Store
+	sc       *batchScratch
+	maxBatch int
+	bufs     []sessionBuffer
+	ptrs     []*sessionBuffer
+}
+
+// NewBatchFinalizer sizes the finalizer's scratch for groups of up to
+// maxBatch sessions (larger inputs are chunked).
+func NewBatchFinalizer(model *core.Model, store Store, maxBatch int) *BatchFinalizer {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	f := &BatchFinalizer{
+		model:    model,
+		store:    store,
+		sc:       newBatchScratch(model, maxBatch),
+		maxBatch: maxBatch,
+		bufs:     make([]sessionBuffer, maxBatch),
+		ptrs:     make([]*sessionBuffer, maxBatch),
+	}
+	for i := range f.bufs {
+		f.ptrs[i] = &f.bufs[i]
+	}
+	return f
+}
+
+// Finalize runs the GRU update for every session in due, in order. The
+// slice may hold several sessions of the same user; the wave partition
+// keeps their updates ordered.
+func (f *BatchFinalizer) Finalize(due []DueSession) {
+	for len(due) > 0 {
+		n := len(due)
+		if n > f.maxBatch {
+			n = f.maxBatch
+		}
+		for i := 0; i < n; i++ {
+			f.bufs[i] = sessionBuffer{
+				userID:   due[i].UserID,
+				start:    due[i].Start,
+				cat:      due[i].Cat,
+				accessed: due[i].Accessed,
+			}
+		}
+		applySessionUpdateBatch(f.model, f.store, f.ptrs[:n], f.sc)
+		due = due[n:]
+	}
+}
+
+// StateDigest hashes the store's entire resident state — every key and its
+// wire-format value, in sorted key order — into a hex SHA-256, and reports
+// how many states it covered. Two stores hold byte-identical states iff
+// their digests match, which is how the HTTP serving path proves parity
+// with in-process sequential replay without shipping every hidden state
+// over the wire. Reads go through Get, so the store's access counters
+// advance; take a digest after accounting, not before.
+func StateDigest(store Store) (digest string, keys int) {
+	ks := store.Keys()
+	sort.Strings(ks)
+	h := sha256.New()
+	var frame [8]byte
+	for _, k := range ks {
+		v, ok := store.Get(k)
+		if !ok {
+			continue
+		}
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(k)))
+		h.Write(frame[:])
+		h.Write([]byte(k))
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(v)))
+		h.Write(frame[:])
+		h.Write(v)
+		keys++
+	}
+	return hex.EncodeToString(h.Sum(nil)), keys
+}

@@ -137,12 +137,20 @@ func (p *ParallelStreamProcessor) finishInflight(n int) {
 	p.inflightMu.Unlock()
 }
 
-// laneFor maps a user to a worker lane. All of a user's sessions land on
-// the same lane, which is what preserves per-user ordering. The ID is
-// hashed directly (Fibonacci mix) — no key string is built on this path.
-func (p *ParallelStreamProcessor) laneFor(userID int) chan<- *sessionBuffer {
+// UserLane maps a user to one of n lanes (Fibonacci mix over the raw ID —
+// no key string is built). It is THE user-partitioning function: the
+// worker-pool processor, the online server's micro-batcher, and the load
+// generator's connection sharding all call it, so "all of a user's
+// sessions ride one lane" holds by construction across every tier.
+func UserLane(userID, n int) int {
 	h := uint32(userID) * 2654435761
-	return p.lanes[h%uint32(len(p.lanes))]
+	return int(h % uint32(n))
+}
+
+// laneFor maps a user to a worker lane. All of a user's sessions land on
+// the same lane, which is what preserves per-user ordering.
+func (p *ParallelStreamProcessor) laneFor(userID int) chan<- *sessionBuffer {
+	return p.lanes[UserLane(userID, len(p.lanes))]
 }
 
 // dispatch hands a finalised buffer to its user's lane. Callers must hold

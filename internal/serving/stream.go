@@ -63,6 +63,10 @@ type StreamProcessor struct {
 	batchSc    *batchScratch
 	due        []*sessionBuffer
 
+	// sink, when set, receives due sessions instead of inline finalisation
+	// (the async submit seam; see async.go).
+	sink func(DueSession)
+
 	// UpdatesRun counts GRU executions (the paper's most expensive model
 	// component runs once per session, off the critical path).
 	UpdatesRun int64
@@ -114,7 +118,13 @@ func newUpdateScratch(m *core.Model) *updateScratch {
 }
 
 // Advance moves the virtual clock to ts, firing any due timers in order.
+// With a sink set (SetSink), due sessions are submitted to it instead of
+// being finalised inline.
 func (p *StreamProcessor) Advance(ts int64) {
+	if p.sink != nil {
+		p.drainToSink(ts)
+		return
+	}
 	if p.inferBatch > 1 {
 		p.drainBatched(ts)
 		if ts > p.now {

@@ -199,6 +199,9 @@ func (s *Store) compactAtOpen() error {
 	if err != nil {
 		return err
 	}
+	if err := s.wal.retireOld(); err != nil {
+		return err
+	}
 	if err := os.Truncate(fmt.Sprintf("%s/%s", s.opts.Dir, walName), 0); err != nil {
 		return err
 	}
@@ -404,7 +407,31 @@ func (s *Store) snapshot() {
 		s.setErr(err)
 		return
 	}
+	// The snapshot covers everything the retired log held; drop it under
+	// walMu, completing the rotation invariant rotate() opened.
+	s.walMu.Lock()
+	if s.wal != nil {
+		err = s.wal.retireOld()
+	}
+	s.walMu.Unlock()
+	if err != nil {
+		s.setErr(err)
+		return
+	}
 	s.snapshots.Add(1)
+}
+
+// Snapshot forces a log compaction now — rotate the WAL, stream the
+// resident state to disk, retire the old log. Graceful shutdown calls this
+// so a clean reopen recovers from the snapshot alone; replay drivers and
+// tests use it to pin compaction points deterministically. Returns the
+// store's first observed I/O error (a volatile store is a no-op).
+func (s *Store) Snapshot() error {
+	if s.opts.Dir == "" {
+		return nil
+	}
+	s.snapshot()
+	return s.Err()
 }
 
 // maybeSweep runs the idle and budget sweeps when they are due. Sweeps are

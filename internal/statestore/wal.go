@@ -105,6 +105,14 @@ type wal struct {
 	// recoverable torn tail into unrecoverable mid-log corruption. Once
 	// set, the log is frozen at its last good prefix.
 	failed bool
+
+	// oldPresent tracks whether wal.old.log exists. It is the rotation
+	// invariant, held under walMu end-to-end: rotate sets it before the
+	// rename, retireOld clears it after the snapshot lands. Tracking it in
+	// memory (seeded from a stat at open) makes the "refuse to clobber"
+	// guard atomic — no stat-then-rename window in which a concurrent
+	// snapshot could slip a fresh wal.old.log underneath the check.
+	oldPresent bool
 }
 
 func openWAL(dir string) (*wal, error) {
@@ -117,7 +125,11 @@ func openWAL(dir string) (*wal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &wal{dir: dir, f: f, size: st.Size()}, nil
+	w := &wal{dir: dir, f: f, size: st.Size()}
+	if _, err := os.Stat(filepath.Join(dir, walOldName)); err == nil {
+		w.oldPresent = true
+	}
+	return w, nil
 }
 
 func (w *wal) append(op byte, key string, val []byte) error {
@@ -163,9 +175,11 @@ func (w *wal) appendDeletes(keys []string) error {
 // fresh one. Called under walMu. It refuses to clobber an existing
 // wal.old.log: that file only survives a failed or crashed snapshot, and
 // renaming over it would destroy records that exist nowhere else (Open
-// compacts it away, so this is pure defence in depth).
+// compacts it away, so this is pure defence in depth). The guard reads
+// oldPresent — maintained under walMu across rotate/retireOld — so the
+// invariant holds atomically from the check to the rename.
 func (w *wal) rotate() error {
-	if _, err := os.Stat(filepath.Join(w.dir, walOldName)); err == nil {
+	if w.oldPresent {
 		return fmt.Errorf("statestore: %s still present, refusing rotation", walOldName)
 	}
 	if err := w.f.Sync(); err != nil {
@@ -177,12 +191,24 @@ func (w *wal) rotate() error {
 	if err := os.Rename(filepath.Join(w.dir, walName), filepath.Join(w.dir, walOldName)); err != nil {
 		return err
 	}
+	w.oldPresent = true
 	f, err := os.OpenFile(filepath.Join(w.dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
 	w.f = f
 	w.size = 0
+	return nil
+}
+
+// retireOld removes the pre-rotation log once the snapshot that covers it
+// has landed. Called under walMu (it completes the rotation invariant that
+// rotate opened).
+func (w *wal) retireOld() error {
+	if err := os.Remove(filepath.Join(w.dir, walOldName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	w.oldPresent = false
 	return nil
 }
 
@@ -230,9 +256,9 @@ func replayFile(path string, apply func(op byte, key string, val []byte)) (recor
 }
 
 // writeSnapshot streams every resident entry to a tmp file and renames it
-// into place, then retires the pre-rotation log. The caller guarantees the
-// WAL was rotated before any shard is scanned (see Store.snapshot for why
-// that ordering is crash-safe).
+// into place. The caller guarantees the WAL was rotated before any shard
+// is scanned (see Store.snapshot for why that ordering is crash-safe) and
+// retires the pre-rotation log afterwards via wal.retireOld, under walMu.
 func writeSnapshot(dir string, scan func(emit func(key string, val []byte) error) error) error {
 	tmp := filepath.Join(dir, snapTmpName)
 	f, err := os.Create(tmp)
@@ -259,13 +285,7 @@ func writeSnapshot(dir string, scan func(emit func(key string, val []byte) error
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, snapName)); err != nil {
-		return err
-	}
-	if err := os.Remove(filepath.Join(dir, walOldName)); err != nil && !errors.Is(err, os.ErrNotExist) {
-		return err
-	}
-	return nil
+	return os.Rename(tmp, filepath.Join(dir, snapName))
 }
 
 // loadSnapshot feeds every snapshot record to apply. Snapshots are written
