@@ -24,6 +24,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -111,12 +113,17 @@ func main() {
 	printLatency("event", rep.EventLatency)
 	printLatency("predict", rep.PredictLatency)
 
-	statz, err := server.FetchStatz(*addr, nil)
+	statzBody, err := fetchStatzBody(*addr)
 	if err != nil {
 		fail("fetching statz: %v", err)
 	}
+	var statz server.Statz
+	if err := json.Unmarshal(statzBody, &statz); err != nil {
+		fail("decoding statz: %v", err)
+	}
 	fmt.Printf("server: %d updates in %d batches (mean batch %.2f), %d events shed, %d predicts shed\n",
 		statz.UpdatesRun, statz.Batches, statz.MeanBatch, statz.EventsShed, statz.PredictsShed)
+	printReplicaBreakdown(statzBody)
 
 	var keys int
 	var dg string
@@ -175,5 +182,42 @@ func main() {
 	if *requireClean && (rep.Shed > 0 || rep.PredictsShed > 0 || rep.Errors > 0 || statz.EventsShed > 0 || statz.PredictsShed > 0) {
 		fail("run not clean: %d shed, %d errors (server: %d events shed, %d predicts shed)",
 			rep.Shed, rep.Errors, statz.EventsShed, statz.PredictsShed)
+	}
+}
+
+// fetchStatzBody GETs /statz once; the body is decoded twice (aggregate
+// shape + optional per-replica breakdown) so a cluster target is not
+// fanned out to its replicas a second time.
+func fetchStatzBody(addr string) ([]byte, error) {
+	resp, err := http.Get(addr + "/statz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("statz: HTTP %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// printReplicaBreakdown shows the per-replica view when the target is a
+// pprouter (a single ppserve has no "replicas" field and prints nothing).
+func printReplicaBreakdown(statzBody []byte) {
+	var cs struct {
+		Replicas []struct {
+			URL   string       `json:"url"`
+			Statz server.Statz `json:"statz"`
+		} `json:"replicas"`
+		Reshards int `json:"reshards"`
+		Moved    int `json:"moved_states"`
+	}
+	if json.Unmarshal(statzBody, &cs) != nil || len(cs.Replicas) == 0 {
+		return
+	}
+	fmt.Printf("cluster: %d replicas, %d reshards, %d states moved\n",
+		len(cs.Replicas), cs.Reshards, cs.Moved)
+	for _, r := range cs.Replicas {
+		fmt.Printf("  %s: %d events, %d updates, %d keys, %d shed\n",
+			r.URL, r.Statz.Events, r.Statz.UpdatesRun, r.Statz.Store.Keys, r.Statz.EventsShed)
 	}
 }

@@ -1,0 +1,97 @@
+// Command pprouter is the cluster front door: it consistent-hashes users
+// across N ppserve replica processes and serves the same HTTP API as a
+// single replica — POST /event, /predict, /flush and GET /statz, /healthz,
+// /digest — so ppload (or any client) drives a cluster exactly like one
+// process. Data-plane requests forward to the owning replica; control-plane
+// requests fan out and aggregate (the cluster digest is order-independent
+// across replicas and directly comparable to the single-process sequential
+// digest).
+//
+// Resharding is an admin action: POST /admin/reshard with a JSON body
+// {"replicas": ["http://...", ...]} drains the affected key ranges from
+// their current owners (flush → export → import → drop) and cuts the ring
+// over with zero unexpected cold starts. GET /ring describes the current
+// assignment.
+//
+// Usage:
+//
+//	pprouter -listen 127.0.0.1:8090 \
+//	  -replicas http://127.0.0.1:8101,http://127.0.0.1:8102,http://127.0.0.1:8103
+//	ppload -addr http://127.0.0.1:8090 -users 500
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8090", "router listen address")
+		replicas    = flag.String("replicas", "", "comma-separated replica base URLs (required)")
+		vnodes      = flag.Int("vnodes", 0, "virtual nodes per replica (0 = default)")
+		waitHealthy = flag.Duration("wait-healthy", 60*time.Second, "wait this long for every replica's /healthz before serving (0 = don't wait)")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 || *vnodes < 0 {
+		fmt.Fprintln(os.Stderr, "pprouter: -replicas must list at least one URL and -vnodes must be >= 0")
+		os.Exit(2)
+	}
+
+	router, err := cluster.New(cluster.Options{Replicas: urls, VNodes: *vnodes})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pprouter: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *waitHealthy > 0 {
+		for _, u := range urls {
+			if err := server.WaitHealthy(u, *waitHealthy); err != nil {
+				fmt.Fprintf(os.Stderr, "pprouter: replica %s: %v\n", u, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: router}
+	done := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		sig := <-sigCh
+		fmt.Printf("\nreceived %s, shutting down (replicas keep running)...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pprouter: shutdown: %v\n", err)
+		}
+	}()
+
+	fmt.Printf("routing %d replicas on %s (vnodes=%d)\n", len(urls), *listen, router.Ring().VNodes())
+	for i, u := range urls {
+		fmt.Printf("  replica %d: %s\n", i, u)
+	}
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "pprouter: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}

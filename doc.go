@@ -23,8 +23,10 @@
 //     (WAL + snapshots, idle eviction, byte budget, int8 tier)
 //   - internal/server — request-driven online serving tier: HTTP/JSON
 //     API + dynamic micro-batcher over the batched GEMM path (§9)
+//   - internal/cluster — user-sharded serving cluster: consistent-hash
+//     ring, forwarding/aggregating router, drain-and-handoff resharding
 //   - internal/experiments — one driver per table/figure (§8-9)
-//   - cmd/{ppgen,ppbench,ppserve,ppload} — command-line tools
+//   - cmd/{ppgen,ppbench,ppserve,ppload,pprouter} — command-line tools
 //   - examples/ — runnable walkthroughs of the public API
 //
 // See DESIGN.md for the system inventory and per-experiment index, and

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/server"
+	"repro/internal/statestore"
+)
+
+// Drain-and-handoff: moving a key range between replicas without a single
+// unexpected cold start. The router holds its write lock for the duration,
+// so no event or predict can race the transfer:
+//
+//  1. flush every source replica (fires outstanding session timers and
+//     drains its micro-batcher — afterwards the source is quiescent and its
+//     store holds a consistent final state for every key it owns)
+//  2. export each moved arc from its source (tagged stored bytes through
+//     the statestore seam — no transcoding)
+//  3. import the entries into the destination (verbatim install)
+//  4. drop the moved arcs from the source (so cluster-wide digests count
+//     every state exactly once)
+//  5. swap the ring and release the lock
+//
+// A failure aborts with the old ring still in place. Steps 3-4 may then
+// have left copies on the destination; the next successful reshard
+// overwrites them (imports are idempotent absolute values), but the
+// operator should re-run the reshard before trusting a cluster digest.
+
+// Reshard cuts the cluster over to a new replica set, moving exactly the
+// key ranges whose ring ownership changes. It returns the number of moved
+// states.
+func (r *Router) Reshard(newReplicas []string) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	newRing, err := NewRing(newReplicas, r.opts.VNodes)
+	if err != nil {
+		return 0, err
+	}
+	moves := MovedArcs(r.ring, newRing)
+	moved := 0
+	if len(moves) > 0 {
+		sources := map[string]bool{}
+		for _, m := range moves {
+			sources[m.Src] = true
+		}
+		for src := range sources {
+			if err := r.flushReplica(src); err != nil {
+				return 0, fmt.Errorf("cluster: draining %s: %w", src, err)
+			}
+		}
+		for _, m := range moves {
+			n, err := r.transfer(m)
+			if err != nil {
+				return moved, fmt.Errorf("cluster: handoff %s -> %s: %w", m.Src, m.Dst, err)
+			}
+			moved += n
+		}
+	}
+	r.ring = newRing
+	r.reshards++
+	r.moved += moved
+	return moved, nil
+}
+
+// flushReplica drains one replica's pipeline (outstanding timers fire, the
+// micro-batcher empties) so its store is consistent for export.
+func (r *Router) flushReplica(url string) error {
+	status, err := r.postJSON(url+"/flush", nil, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("flush HTTP %d", status)
+	}
+	return nil
+}
+
+// transfer runs export → import → drop for one move.
+func (r *Router) transfer(m Move) (int, error) {
+	req := server.ArcsRequest{Arcs: m.Arcs}
+	var payload server.TransferPayload
+	status, err := r.postJSON(m.Src+"/export", req, &payload)
+	if err != nil {
+		return 0, fmt.Errorf("export: %w", err)
+	}
+	if status != http.StatusOK {
+		return 0, fmt.Errorf("export HTTP %d", status)
+	}
+	if err := r.importEntries(m.Dst, payload.Entries); err != nil {
+		return 0, err
+	}
+	if len(payload.Entries) > 0 {
+		status, err = r.postJSON(m.Src+"/drop", req, nil)
+		if err != nil {
+			return 0, fmt.Errorf("drop: %w", err)
+		}
+		if status != http.StatusOK {
+			return 0, fmt.Errorf("drop HTTP %d", status)
+		}
+	}
+	return len(payload.Entries), nil
+}
+
+// importEntries installs entries on a replica in body-cap-sized chunks.
+func (r *Router) importEntries(url string, entries []server.TransferEntry) error {
+	for lo := 0; lo < len(entries); lo += r.opts.ImportChunk {
+		hi := lo + r.opts.ImportChunk
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		status, err := r.postJSON(url+"/import", server.TransferPayload{Entries: entries[lo:hi]}, nil)
+		if err != nil {
+			return fmt.Errorf("import: %w", err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("import HTTP %d", status)
+		}
+	}
+	return nil
+}
+
+// RecoverFromDir rehomes a dead replica's states: it opens the replica's
+// statestore directory directly (the replica shut down or crashed; a
+// graceful shutdown snapshot — or WAL replay after a crash — holds every
+// finalised state), routes each state to its owner under the new ring, and
+// imports it there. The new replica set need not be "old minus dead": when
+// it implies further ownership changes between *surviving* replicas (e.g.
+// a fresh node replaces the dead one and takes arcs from survivors too),
+// those ranges move through the ordinary live drain-and-handoff before the
+// ring cuts over — otherwise they would silently cold-start on their new
+// owner while the old one kept stale copies. Returns the number of moved
+// states (rehomed + live transfers). dead is the dead replica's base URL;
+// the directory must no longer be appended to.
+func (r *Router) RecoverFromDir(dir, dead string, newReplicas []string) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, u := range newReplicas {
+		if u == dead {
+			return 0, fmt.Errorf("cluster: new replica set still contains the dead replica %s", dead)
+		}
+	}
+	newRing, err := NewRing(newReplicas, r.opts.VNodes)
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+
+	// Live-to-live moves first: arcs the new ring takes from a *survivor*
+	// drain through the normal protocol. Moves whose source is the dead
+	// replica are covered by the directory export below (it routes every
+	// key by its new-ring owner); moves TO the dead replica cannot exist
+	// (it is not in the new ring).
+	liveSources := map[string]bool{}
+	var liveMoves []Move
+	for _, m := range MovedArcs(r.ring, newRing) {
+		if m.Src == dead {
+			continue
+		}
+		liveMoves = append(liveMoves, m)
+		liveSources[m.Src] = true
+	}
+	for src := range liveSources {
+		if err := r.flushReplica(src); err != nil {
+			return 0, fmt.Errorf("cluster: draining %s: %w", src, err)
+		}
+	}
+	for _, m := range liveMoves {
+		n, err := r.transfer(m)
+		if err != nil {
+			return moved, fmt.Errorf("cluster: handoff %s -> %s: %w", m.Src, m.Dst, err)
+		}
+		moved += n
+	}
+
+	ss, err := statestore.Open(statestore.Options{Dir: dir})
+	if err != nil {
+		return moved, fmt.Errorf("cluster: opening dead replica's store: %w", err)
+	}
+	defer ss.Close()
+	perDst := map[string][]server.TransferEntry{}
+	err = ss.Export(func(string) bool { return true }, func(key string, stored []byte) error {
+		dst := newRing.OwnerOfKey(key)
+		perDst[dst] = append(perDst[dst], server.TransferEntry{
+			Key: key, Val: append([]byte(nil), stored...), Stored: true,
+		})
+		return nil
+	})
+	if err != nil {
+		return moved, err
+	}
+	for dst, entries := range perDst {
+		if err := r.importEntries(dst, entries); err != nil {
+			return moved, fmt.Errorf("cluster: rehoming to %s: %w", dst, err)
+		}
+		moved += len(entries)
+	}
+	r.ring = newRing
+	r.reshards++
+	r.moved += moved
+	return moved, nil
+}

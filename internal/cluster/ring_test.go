@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/serving"
+)
+
+func mustRing(t *testing.T, replicas []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(replicas, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty replica set must error")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate replica must error")
+	}
+	if _, err := NewRing([]string{"a", ""}, 8); err == nil {
+		t.Fatal("empty URL must error")
+	}
+}
+
+// TestRingBalanceAndDeterminism pins that ownership is deterministic,
+// independent of declaration order, and roughly balanced at the default
+// virtual-node count.
+func TestRingBalanceAndDeterminism(t *testing.T) {
+	urls := []string{"http://a", "http://b", "http://c"}
+	r1 := mustRing(t, urls, 0)
+	r2 := mustRing(t, []string{urls[2], urls[0], urls[1]}, 0)
+	counts := map[string]int{}
+	const users = 30000
+	for u := 0; u < users; u++ {
+		o1, o2 := r1.OwnerOfUser(u), r2.OwnerOfUser(u)
+		if o1 != o2 {
+			t.Fatalf("user %d: owner depends on declaration order (%s vs %s)", u, o1, o2)
+		}
+		counts[o1]++
+	}
+	for _, u := range urls {
+		if frac := float64(counts[u]) / users; frac < 0.15 || frac > 0.55 {
+			t.Fatalf("replica %s owns %.1f%% of users — ring badly unbalanced (%v)", u, 100*frac, counts)
+		}
+	}
+	// A user's ring position is the hash of their hidden-state key: routing
+	// and key-range matching must agree.
+	for u := 0; u < 100; u++ {
+		if r1.OwnerOfUser(u) != r1.OwnerOfKey(serving.HiddenKey(u)) {
+			t.Fatalf("user %d: OwnerOfUser and OwnerOfKey disagree", u)
+		}
+	}
+}
+
+// TestRingConsistency pins the consistent-hashing property: removing one
+// replica only rehomes keys that replica owned — every other key keeps its
+// owner.
+func TestRingConsistency(t *testing.T) {
+	old := mustRing(t, []string{"http://a", "http://b", "http://c"}, 0)
+	next := mustRing(t, []string{"http://a", "http://b"}, 0)
+	movedAway := 0
+	for u := 0; u < 20000; u++ {
+		was, is := old.OwnerOfUser(u), next.OwnerOfUser(u)
+		if was == "http://c" {
+			movedAway++
+			continue
+		}
+		if was != is {
+			t.Fatalf("user %d moved %s -> %s though its replica survived", u, was, is)
+		}
+	}
+	if movedAway == 0 {
+		t.Fatal("removed replica owned nothing — test is vacuous")
+	}
+}
+
+// TestMovedArcsExactlyCoverOwnershipChanges is the property the handoff
+// protocol rests on: a key changes owner between two rings iff its hash
+// falls inside exactly the arcs of the (oldOwner -> newOwner) move. Checked
+// by sampling the key space densely across both directions of a reshard
+// (replica removed, replica added).
+func TestMovedArcsExactlyCoverOwnershipChanges(t *testing.T) {
+	three := []string{"http://a", "http://b", "http://c"}
+	two := []string{"http://a", "http://b"}
+	four := []string{"http://a", "http://b", "http://c", "http://d"}
+	for _, tc := range []struct {
+		name     string
+		from, to []string
+	}{
+		{"remove", three, two},
+		{"add", three, four},
+		{"same", three, three},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			old := mustRing(t, tc.from, 16)
+			next := mustRing(t, tc.to, 16)
+			moves := MovedArcs(old, next)
+			if tc.name == "same" {
+				if len(moves) != 0 {
+					t.Fatalf("identical rings produced %d moves", len(moves))
+				}
+				return
+			}
+			arcsBySrcDst := map[[2]string][]server.Arc{}
+			for _, m := range moves {
+				arcsBySrcDst[[2]string{m.Src, m.Dst}] = append(arcsBySrcDst[[2]string{m.Src, m.Dst}], m.Arcs...)
+			}
+			checked, moved := 0, 0
+			for u := 0; u < 50000; u++ {
+				key := fmt.Sprintf("h:%d", u)
+				pos := serving.KeyHash(key)
+				was, is := old.OwnerOfKey(key), next.OwnerOfKey(key)
+				checked++
+				if was != is {
+					moved++
+					if !server.ArcsContain(arcsBySrcDst[[2]string{was, is}], pos) {
+						t.Fatalf("key %s moved %s->%s but no arc covers pos %d", key, was, is, pos)
+					}
+				}
+				// ...and no move's arcs may cover a key it doesn't move.
+				for sd, arcs := range arcsBySrcDst {
+					if server.ArcsContain(arcs, pos) && (sd[0] != was || sd[1] != is) {
+						t.Fatalf("key %s (owner %s->%s) wrongly covered by move %v", key, was, is, sd)
+					}
+				}
+			}
+			if moved == 0 {
+				t.Fatalf("reshard moved nothing across %d sampled keys", checked)
+			}
+		})
+	}
+}

@@ -1,0 +1,507 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/serving"
+)
+
+// The router is the cluster's front door: it speaks the same HTTP API as a
+// single ppserve replica — POST /event, /predict, /flush and GET /statz,
+// /healthz, /digest — so load generators and clients are agnostic to
+// whether they face one process or a cluster. Data-plane requests are
+// forwarded to the owning replica (users consistent-hash to exactly one);
+// control-plane requests fan out to every replica and aggregate.
+//
+// Ordering: the router preserves the serving tier's parity contract. A
+// user's events arrive on one client connection in timestamp order, each
+// POST is forwarded synchronously before its response is returned, and a
+// user maps to one replica — so per-user event order is preserved
+// end-to-end. A session's start+access pair rides one POST and is grouped
+// into one sub-POST. Access events whose start is not in the same POST are
+// broadcast: only the owning replica can have the session buffered, and the
+// stream processor drops accesses for unknown sessions, so a broadcast is
+// semantically exact (it merely advances the other replicas' virtual
+// clocks, which global timestamp order advances anyway).
+//
+// Resharding holds the router's write lock, so clients observe a reshard as
+// a pause, never as disorder: drain the sources (flush → quiesce), move
+// the affected key ranges through the statestore export/import seam, drop
+// them from the old owners, and only then swap the ring.
+
+// Options configures a Router.
+type Options struct {
+	// Replicas are the ppserve replica base URLs (e.g. "http://127.0.0.1:8101").
+	Replicas []string
+	// VNodes is the per-replica virtual-node count (<=0 selects
+	// DefaultVNodes). Every ring this router builds uses the same value.
+	VNodes int
+	// Client overrides the forwarding HTTP client (nil selects a pooled
+	// default with a generous timeout — replica flushes can take a while).
+	Client *http.Client
+	// ImportChunk bounds entries per /import POST during a handoff (<=0
+	// selects 512), keeping transfer bodies under the replicas' body cap.
+	ImportChunk int
+}
+
+// Router implements http.Handler for the cluster API.
+type Router struct {
+	opts   Options
+	client *http.Client
+
+	// mu orders traffic against resharding: handlers forward under RLock,
+	// Reshard/RecoverFromDir hold the write lock across drain, transfer and
+	// ring cutover. The ring pointer only changes under the write lock.
+	mu   sync.RWMutex
+	ring *Ring
+
+	start    time.Time
+	reshards int
+	moved    int
+	mux      *http.ServeMux
+}
+
+// ReplicaStatz is one replica's /statz snapshot, tagged with its URL.
+type ReplicaStatz struct {
+	URL   string       `json:"url"`
+	Statz server.Statz `json:"statz"`
+}
+
+// Statz is the router's /statz payload: the aggregate (summed) view in the
+// exact shape of a single replica's Statz — so single-process clients like
+// ppload decode it unchanged — plus the per-replica breakdown.
+type Statz struct {
+	server.Statz
+	Replicas []ReplicaStatz `json:"replicas"`
+	Reshards int            `json:"reshards"`
+	Moved    int            `json:"moved_states"`
+}
+
+// New builds a router over the given replicas.
+func New(opts Options) (*Router, error) {
+	ring, err := NewRing(opts.Replicas, opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ImportChunk <= 0 {
+		opts.ImportChunk = 512
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout:   120 * time.Second,
+			Transport: &http.Transport{MaxIdleConnsPerHost: 64},
+		}
+	}
+	r := &Router{opts: opts, client: client, ring: ring, start: time.Now()}
+	r.mux = http.NewServeMux()
+	r.mux.HandleFunc("/event", r.handleEvent)
+	r.mux.HandleFunc("/predict", r.handlePredict)
+	r.mux.HandleFunc("/flush", r.handleFlush)
+	r.mux.HandleFunc("/statz", r.handleStatz)
+	r.mux.HandleFunc("/healthz", r.handleHealthz)
+	r.mux.HandleFunc("/digest", r.handleDigest)
+	r.mux.HandleFunc("/ring", r.handleRing)
+	r.mux.HandleFunc("/admin/reshard", r.handleReshard)
+	return r, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(w, req) }
+
+// Ring returns the current ring (immutable; safe to use after return).
+func (r *Router) Ring() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// postJSON posts v and decodes the response into out (unless nil),
+// returning the status code.
+func (r *Router) postJSON(url string, v any, out any) (int, error) {
+	var body io.Reader
+	if v != nil {
+		buf, err := json.Marshal(v)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(buf)
+	}
+	resp, err := r.client.Post(url, "application/json", body)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// ---- data plane ----
+
+// handleEvent splits a post by owning replica (preserving in-post order)
+// and forwards the sub-posts concurrently, waiting for every response
+// before answering — which is what keeps per-user order intact across
+// consecutive posts on one connection.
+func (r *Router) handleEvent(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 8<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var evs []server.Event
+	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+		err = json.Unmarshal(trimmed, &evs)
+	} else {
+		var ev server.Event
+		err = json.Unmarshal(body, &ev)
+		evs = []server.Event{ev}
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding events: "+err.Error())
+		return
+	}
+
+	r.mu.RLock()
+	ring := r.ring
+	groups := map[string][]server.Event{}
+	sessionOwner := map[string]string{}
+	for _, ev := range evs {
+		switch ev.Type {
+		case "start":
+			owner := ring.OwnerOfUser(ev.User)
+			sessionOwner[ev.Session] = owner
+			groups[owner] = append(groups[owner], ev)
+		default:
+			// Accesses ride the same POST as their start (the parity
+			// contract); orphans broadcast — exact, because only the owner
+			// can hold the session buffer.
+			if owner, ok := sessionOwner[ev.Session]; ok {
+				groups[owner] = append(groups[owner], ev)
+			} else {
+				for _, u := range ring.Replicas() {
+					groups[u] = append(groups[u], ev)
+				}
+			}
+		}
+	}
+
+	type result struct {
+		status int
+		err    error
+	}
+	results := make(chan result, len(groups))
+	for url, group := range groups {
+		go func(url string, group []server.Event) {
+			status, err := r.postJSON(url+"/event", group, nil)
+			results <- result{status, err}
+		}(url, group)
+	}
+	worst := http.StatusAccepted
+	var ferr error
+	for range groups {
+		res := <-results
+		switch {
+		case res.err != nil:
+			worst, ferr = http.StatusBadGateway, res.err
+		case res.status == http.StatusAccepted:
+		case res.status == http.StatusTooManyRequests && worst == http.StatusAccepted:
+			worst = res.status
+		case res.status != http.StatusTooManyRequests:
+			if worst == http.StatusAccepted || worst == http.StatusTooManyRequests {
+				worst = res.status
+			}
+		}
+	}
+	r.mu.RUnlock()
+
+	switch {
+	case ferr != nil:
+		writeErr(w, http.StatusBadGateway, "forwarding events: "+ferr.Error())
+	case worst == http.StatusAccepted:
+		writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(evs)})
+	case worst == http.StatusTooManyRequests:
+		writeErr(w, worst, "replica backlog full, event shed")
+	default:
+		writeErr(w, worst, fmt.Sprintf("replica rejected events (HTTP %d)", worst))
+	}
+}
+
+// handlePredict forwards the prediction to the owning replica and relays
+// its response verbatim.
+func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var in server.PredictIn
+	if err := json.Unmarshal(body, &in); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+
+	r.mu.RLock()
+	owner := r.ring.OwnerOfUser(in.User)
+	resp, err := r.client.Post(owner+"/predict", "application/json", bytes.NewReader(body))
+	r.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "forwarding predict: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// ---- control plane ----
+
+// eachReplica runs fn against every replica URL concurrently and collects
+// the first error.
+func eachReplica(urls []string, fn func(url string) error) error {
+	errs := make(chan error, len(urls))
+	for _, u := range urls {
+		go func(u string) { errs <- fn(u) }(u)
+	}
+	var first error
+	for range urls {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// handleFlush fans the flush to every replica and sums the results.
+func (r *Router) handleFlush(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	r.mu.RLock()
+	urls := r.ring.Replicas()
+	var mu sync.Mutex
+	var updates, pending int64
+	err := eachReplica(urls, func(u string) error {
+		var out struct {
+			UpdatesRun int64 `json:"updates_run"`
+			Pending    int64 `json:"pending"`
+		}
+		status, err := r.postJSON(u+"/flush", nil, &out)
+		if err != nil {
+			return fmt.Errorf("%s: %w", u, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("%s: flush HTTP %d", u, status)
+		}
+		mu.Lock()
+		updates += out.UpdatesRun
+		pending += out.Pending
+		mu.Unlock()
+		return nil
+	})
+	r.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"updates_run": updates, "pending": pending})
+}
+
+// handleDigest aggregates the replicas' digests. StateDigest is additive
+// over disjoint key sets, so the combination is independent of replica
+// order and equals what a single process holding every state would report.
+func (r *Router) handleDigest(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	r.mu.RLock()
+	urls := r.ring.Replicas()
+	var mu sync.Mutex
+	keys := 0
+	digests := make([]string, 0, len(urls))
+	conflict := false
+	err := eachReplica(urls, func(u string) error {
+		resp, err := r.client.Get(u + "/digest")
+		if err != nil {
+			// Transport failure: the replica is unreachable, not busy —
+			// surface 502, never the retryable 409.
+			return fmt.Errorf("%s: %w", u, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			if resp.StatusCode == http.StatusConflict {
+				mu.Lock()
+				conflict = true
+				mu.Unlock()
+			}
+			io.Copy(io.Discard, resp.Body)
+			return fmt.Errorf("%s: digest HTTP %d", u, resp.StatusCode)
+		}
+		var out struct {
+			Keys   int    `json:"keys"`
+			Digest string `json:"digest"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return fmt.Errorf("%s: %w", u, err)
+		}
+		mu.Lock()
+		keys += out.Keys
+		digests = append(digests, out.Digest)
+		mu.Unlock()
+		return nil
+	})
+	r.mu.RUnlock()
+	if err != nil {
+		code := http.StatusBadGateway
+		if conflict {
+			// Only a genuine replica 409 (sessions pending — flush first)
+			// maps back to 409.
+			code = http.StatusConflict
+		}
+		writeErr(w, code, err.Error())
+		return
+	}
+	combined, err := serving.CombineDigests(digests...)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"keys": keys, "digest": combined})
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	r.mu.RLock()
+	urls := r.ring.Replicas()
+	r.mu.RUnlock()
+	err := eachReplica(urls, func(u string) error {
+		resp, err := r.client.Get(u + "/healthz")
+		if err != nil {
+			return fmt.Errorf("%s: %w", u, err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: healthz HTTP %d", u, resp.StatusCode)
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "replicas": len(urls)})
+}
+
+// handleStatz sums the replicas' counters into one single-replica-shaped
+// aggregate plus the per-replica breakdown.
+func (r *Router) handleStatz(w http.ResponseWriter, req *http.Request) {
+	r.mu.RLock()
+	urls := r.ring.Replicas()
+	reshards, moved := r.reshards, r.moved
+	r.mu.RUnlock()
+	var mu sync.Mutex
+	out := Statz{Reshards: reshards, Moved: moved}
+	out.UptimeSec = time.Since(r.start).Seconds()
+	err := eachReplica(urls, func(u string) error {
+		st, err := server.FetchStatz(u, r.client)
+		if err != nil {
+			return fmt.Errorf("%s: %w", u, err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		out.Replicas = append(out.Replicas, ReplicaStatz{URL: u, Statz: *st})
+		out.Events += st.Events
+		out.EventsShed += st.EventsShed
+		out.Predicts += st.Predicts
+		out.PredictsShed += st.PredictsShed
+		out.Precomputes += st.Precomputes
+		out.ColdStarts += st.ColdStarts
+		out.DecodeFailures += st.DecodeFailures
+		out.UpdatesRun += st.UpdatesRun
+		out.PendingSessions += st.PendingSessions
+		out.Inflight += st.Inflight
+		out.Batches += st.Batches
+		out.Store.Keys += st.Store.Keys
+		out.Store.Gets += st.Store.Gets
+		out.Store.Puts += st.Store.Puts
+		out.Store.Misses += st.Store.Misses
+		out.Store.BytesRead += st.Store.BytesRead
+		out.Store.BytesPut += st.Store.BytesPut
+		out.Store.BytesStored += st.Store.BytesStored
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	if out.Batches > 0 {
+		out.MeanBatch = float64(out.UpdatesRun) / float64(out.Batches)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleRing describes the current ring.
+func (r *Router) handleRing(w http.ResponseWriter, req *http.Request) {
+	r.mu.RLock()
+	ring := r.ring
+	r.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"replicas": ring.Replicas(),
+		"vnodes":   ring.VNodes(),
+	})
+}
+
+// handleReshard is the admin trigger: POST {"replicas": [...]} cuts the
+// cluster over to the new replica set via drain-and-handoff.
+func (r *Router) handleReshard(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var in struct {
+		Replicas []string `json:"replicas"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20)).Decode(&in); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding reshard: "+err.Error())
+		return
+	}
+	moved, err := r.Reshard(in.Replicas)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"replicas": in.Replicas, "moved": moved})
+}

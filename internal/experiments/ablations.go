@@ -157,6 +157,7 @@ func (l *Lab) ByID(id string) *Report {
 		"parallel":      l.Parallelism,
 		"lifecycle":     l.Lifecycle,
 		"loadtest":      l.Loadtest,
+		"cluster":       l.Cluster,
 		"batching":      l.Batching,
 		"cells":         l.Cells,
 		"latentcross":   l.LatentCross,
@@ -178,7 +179,7 @@ func IDs() []string {
 	return []string{
 		"table1", "table2", "figure1", "table3", "table4", "table5",
 		"figure4", "figure5", "figure6", "figure7", "online-recall",
-		"serving", "parallel", "lifecycle", "loadtest", "batching", "cells", "latentcross", "hiddendim", "losswindow",
+		"serving", "parallel", "lifecycle", "loadtest", "cluster", "batching", "cells", "latentcross", "hiddendim", "losswindow",
 		"stacked", "universal", "retrain", "quantization",
 	}
 }

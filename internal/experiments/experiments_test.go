@@ -255,7 +255,8 @@ func TestByIDAndIDsAgree(t *testing.T) {
 		switch id {
 		case "hiddendim", "cells", "latentcross", "losswindow", "batching",
 			"table5", "figure4", "figure7", "online-recall", "serving",
-			"stacked", "universal", "retrain", "quantization", "loadtest":
+			"stacked", "universal", "retrain", "quantization", "loadtest",
+			"cluster":
 			// heavy drivers exercised in dedicated tests above
 			continue
 		}

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/serving"
@@ -40,6 +42,11 @@ type ServerBenchResult struct {
 	// SpeedupVsBatch1 is relative to the batch-size-1 server at the same
 	// hidden dim.
 	SpeedupVsBatch1 float64 `json:"speedup_vs_batch1"`
+	// Replicas > 0 marks a cluster row (that many replicas behind the
+	// router); SpeedupVsSingle is then the router's throughput relative to
+	// the single-replica server at the same hidden dim and batcher config.
+	Replicas        int     `json:"replicas,omitempty"`
+	SpeedupVsSingle float64 `json:"speedup_vs_single,omitempty"`
 }
 
 // ServerBenchSuite is the JSON document written to BENCH_server.json.
@@ -57,12 +64,15 @@ type ServerBenchSuite struct {
 	Results       []ServerBenchResult `json:"results"`
 }
 
-// serverBenchConfig is one configuration of the suite.
+// serverBenchConfig is one configuration of the suite. replicas > 0 runs
+// the config as a cluster: that many in-process replicas behind a
+// consistent-hash router, driven through the router's URL.
 type serverBenchConfig struct {
 	name     string
 	d        int
 	maxBatch int
 	maxWait  time.Duration
+	replicas int
 }
 
 // RunServerBench measures online serving throughput and latency across
@@ -104,14 +114,21 @@ func RunServerBench(quick bool) *ServerBenchSuite {
 
 	var cfgs []serverBenchConfig
 	for _, d := range dims {
-		cfgs = append(cfgs, serverBenchConfig{"batch-1", d, 1, -1})
+		cfgs = append(cfgs, serverBenchConfig{"batch-1", d, 1, -1, 0})
 		if !quick {
-			cfgs = append(cfgs, serverBenchConfig{"batch-16-wait-2ms", d, 16, 2 * time.Millisecond})
+			cfgs = append(cfgs, serverBenchConfig{"batch-16-wait-2ms", d, 16, 2 * time.Millisecond, 0})
 		}
-		cfgs = append(cfgs, serverBenchConfig{"batch-32-wait-2ms", d, 32, 2 * time.Millisecond})
+		cfgs = append(cfgs, serverBenchConfig{"batch-32-wait-2ms", d, 32, 2 * time.Millisecond, 0})
 		if !quick {
-			cfgs = append(cfgs, serverBenchConfig{"batch-32-wait-8ms", d, 32, 8 * time.Millisecond})
+			cfgs = append(cfgs, serverBenchConfig{"batch-32-wait-8ms", d, 32, 8 * time.Millisecond, 0})
 		}
+		// The cluster row: the same batcher config behind a 3-replica
+		// router, so the JSON tracks router-vs-single-replica throughput.
+		// (On a 2-core box the replicas share the cores, so this measures
+		// the router's forwarding overhead, not scale-out — the scale-out
+		// claim needs real machines; the parity and handoff guarantees are
+		// what CI pins.)
+		cfgs = append(cfgs, serverBenchConfig{"router-3rep-batch-32", d, 32, 2 * time.Millisecond, 3})
 	}
 
 	models := map[int]*core.Model{}
@@ -138,7 +155,8 @@ func RunServerBench(quick bool) *ServerBenchSuite {
 		}
 	}
 
-	batch1 := map[int]float64{} // hidden dim -> batch-1 sessions/s
+	batch1 := map[int]float64{}   // hidden dim -> batch-1 sessions/s
+	single32 := map[int]float64{} // hidden dim -> single-replica batch-32 sessions/s
 	for i, c := range cfgs {
 		// The negative greedy-flush sentinel serialises as 0 (no wait).
 		waitMs := float64(c.maxWait.Nanoseconds()) / 1e6
@@ -157,12 +175,21 @@ func RunServerBench(quick bool) *ServerBenchSuite {
 			Errors:         best[i].Errors,
 			EventLatency:   best[i].EventLatency,
 			PredictLatency: best[i].PredictLatency,
+			Replicas:       c.replicas,
 		}
-		if c.maxBatch == 1 {
+		if c.replicas == 0 && c.maxBatch == 1 {
 			batch1[c.d] = best[i].SessionsPerSec
+		}
+		if c.replicas == 0 && c.maxBatch == 32 && c.maxWait == 2*time.Millisecond {
+			single32[c.d] = best[i].SessionsPerSec
 		}
 		if base := batch1[c.d]; base > 0 {
 			res.SpeedupVsBatch1 = best[i].SessionsPerSec / base
+		}
+		if c.replicas > 0 {
+			if base := single32[c.d]; base > 0 {
+				res.SpeedupVsSingle = best[i].SessionsPerSec / base
+			}
 		}
 		suite.Results = append(suite.Results, res)
 	}
@@ -185,9 +212,12 @@ func betterRun(r, cur *server.LoadReport) bool {
 	return r.SessionsPerSec > cur.SessionsPerSec
 }
 
-// runServerOnce starts a fresh server on a loopback listener, replays the
-// log through the load generator, and tears the server down.
+// runServerOnce starts a fresh server (or cluster) on loopback listeners,
+// replays the log through the load generator, and tears everything down.
 func runServerOnce(m *core.Model, c serverBenchConfig, concurrency, eventsPerPost int, log []server.ReplayEvent) (*server.LoadReport, *server.Statz, error) {
+	if c.replicas > 0 {
+		return runClusterOnce(m, c, concurrency, eventsPerPost, log)
+	}
 	srv := server.New(server.Options{
 		Model:     m,
 		Store:     serving.NewShardedKVStore(16),
@@ -236,6 +266,81 @@ func runServerOnce(m *core.Model, c serverBenchConfig, concurrency, eventsPerPos
 	return rep, st, nil
 }
 
+// runClusterOnce starts c.replicas fresh servers behind a consistent-hash
+// router and replays the log through the router. The aggregate /statz the
+// router serves decodes as a single-replica Statz, so the caller's
+// accounting is config-agnostic.
+func runClusterOnce(m *core.Model, c serverBenchConfig, concurrency, eventsPerPost int, log []server.ReplayEvent) (*server.LoadReport, *server.Statz, error) {
+	type member struct {
+		srv *server.Server
+		l   net.Listener
+	}
+	members := make([]member, 0, c.replicas)
+	urls := make([]string, 0, c.replicas)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, mem := range members {
+			mem.srv.Shutdown(ctx)
+		}
+	}()
+	for i := 0; i < c.replicas; i++ {
+		srv := server.New(server.Options{
+			Model:     m,
+			Store:     serving.NewShardedKVStore(16),
+			Threshold: 0.5,
+			Lanes:     2,
+			MaxBatch:  c.maxBatch,
+			MaxWait:   c.maxWait,
+			LaneDepth: 1024,
+		})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		go srv.Serve(l)
+		members = append(members, member{srv, l})
+		urls = append(urls, "http://"+l.Addr().String())
+	}
+	router, err := cluster.New(cluster.Options{Replicas: urls})
+	if err != nil {
+		return nil, nil, err
+	}
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	rsrv := &http.Server{Handler: router}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- rsrv.Serve(rl) }()
+	base := "http://" + rl.Addr().String()
+	if err := server.WaitHealthy(base, 10*time.Second); err != nil {
+		return nil, nil, err
+	}
+	rep, err := server.RunLoad(server.LoadOptions{
+		BaseURL:         base,
+		Concurrency:     concurrency,
+		EventsPerPost:   eventsPerPost,
+		PredictEvery:    16,
+		PredictInterval: 40 * time.Millisecond,
+		Flush:           true,
+	}, log)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := server.FetchStatz(base, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rsrv.Shutdown(ctx); err != nil {
+		return nil, nil, err
+	}
+	<-serveDone
+	return rep, st, nil
+}
+
 // WriteJSON writes the suite to path (pretty-printed, trailing newline).
 func (s *ServerBenchSuite) WriteJSON(path string) error {
 	data, err := json.MarshalIndent(s, "", "  ")
@@ -249,12 +354,16 @@ func (s *ServerBenchSuite) WriteJSON(path string) error {
 // tracked-bench table and the loadtest experiment so the two cannot
 // drift.
 func (s *ServerBenchSuite) tableHeader() []string {
-	return []string{"D", "CONFIG", "SESSIONS/S", "MEAN BATCH", "EVENT P50/P99 MS", "PREDICT P50/P99 MS", "SPEEDUP"}
+	return []string{"D", "CONFIG", "SESSIONS/S", "MEAN BATCH", "EVENT P50/P99 MS", "PREDICT P50/P99 MS", "SPEEDUP", "VS SINGLE"}
 }
 
 func (s *ServerBenchSuite) tableRows() [][]string {
 	var rows [][]string
 	for _, b := range s.Results {
+		vsSingle := "-"
+		if b.SpeedupVsSingle > 0 {
+			vsSingle = fmt.Sprintf("%.2fx", b.SpeedupVsSingle)
+		}
 		rows = append(rows, []string{
 			fint(b.HiddenDim), b.Config,
 			fmt.Sprintf("%.0f", b.SessionsPerSec),
@@ -262,6 +371,7 @@ func (s *ServerBenchSuite) tableRows() [][]string {
 			fmt.Sprintf("%.2f/%.2f", b.EventLatency.P50Ms, b.EventLatency.P99Ms),
 			fmt.Sprintf("%.2f/%.2f", b.PredictLatency.P50Ms, b.PredictLatency.P99Ms),
 			fmt.Sprintf("%.2fx", b.SpeedupVsBatch1),
+			vsSingle,
 		})
 	}
 	return rows

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"time"
@@ -349,14 +350,23 @@ func (w *loadWorker) postPredict(ev ReplayEvent) {
 	}
 }
 
-// summarize sorts latencies and extracts the histogram quantiles.
+// summarize sorts latencies and extracts the histogram quantiles using the
+// explicit nearest-rank definition: Q(p) is the smallest sample such that at
+// least p·n samples are <= it, i.e. the sorted sample at index ceil(p·n)−1.
+// (The previous rounding form, int(p·n+0.5)−1, sat one rank low whenever the
+// fractional part of p·n was in (0, 0.5) — e.g. P90 of 24 samples read rank
+// 21 instead of 22 — which systematically flattered tail latencies.)
 func summarize(lat []float64) LatencyStats {
-	if len(lat) == 0 {
+	switch len(lat) {
+	case 0:
 		return LatencyStats{}
+	case 1:
+		// Every quantile of a single sample is that sample.
+		return LatencyStats{Count: 1, P50Ms: lat[0], P90Ms: lat[0], P95Ms: lat[0], P99Ms: lat[0], MaxMs: lat[0]}
 	}
 	sort.Float64s(lat)
 	q := func(p float64) float64 {
-		i := int(p*float64(len(lat))+0.5) - 1
+		i := int(math.Ceil(p*float64(len(lat)))) - 1
 		if i < 0 {
 			i = 0
 		}

@@ -218,6 +218,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/statz", s.handleStatz)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/digest", s.handleDigest)
+	s.mux.HandleFunc("/export", s.handleExport)
+	s.mux.HandleFunc("/import", s.handleImport)
+	s.mux.HandleFunc("/drop", s.handleDrop)
 	return s
 }
 
@@ -282,9 +285,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if h != nil {
 		err = h.Shutdown(ctx)
 	}
-	// After draining latches (under mu), no handler dispatches again, so
-	// closing the queues is safe: flushers finish whatever is parked and
-	// exit — their WaitGroups double as the drain barrier.
+	// After draining latches (under mu), no handler dispatches again —
+	// every lane send happens inside a processor call under mu, and every
+	// handler that makes such a call (/event and /flush) checks draining
+	// first under the same mu hold — so closing the queues is safe:
+	// flushers finish whatever is parked and exit — their WaitGroups double
+	// as the drain barrier.
 	s.mu.Lock()
 	s.draining = true
 	s.proc.Flush()
@@ -618,6 +624,15 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	if s.draining {
+		// Same guard as handleEvent: once Shutdown has latched draining the
+		// lanes are (about to be) closed, and Flush would dispatch into them —
+		// a send on a closed channel. A flush racing SIGTERM gets a clean 503;
+		// Shutdown itself runs the final Flush under mu.
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
 	s.proc.Flush()
 	pending := s.proc.Pending()
 	s.mu.Unlock()
@@ -638,13 +653,7 @@ func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
-	pending := s.proc.Pending()
-	s.mu.Unlock()
-	s.inflightMu.Lock()
-	inflight := s.inflight
-	s.inflightMu.Unlock()
-	if pending > 0 || inflight > 0 {
+	if pending, inflight, ok := s.quiesced(); !ok {
 		writeErr(w, http.StatusConflict, fmt.Sprintf(
 			"%d sessions pending, %d finalisations in flight — POST /flush first", pending, inflight))
 		return

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serving"
+	"repro/internal/synth"
+)
+
+// TestShutdownHammer races ingest and flush handlers against Shutdown (run
+// it with -race; CI does). The regression it pins: /flush used to dispatch
+// due sessions into the finalisation lanes without checking the draining
+// latch, so a flush racing SIGTERM panicked a handler with a send on a
+// closed channel. Every request during the race must complete with a clean
+// status — 202/200 before the latch, 503 after — and everything admitted
+// must still finalise.
+func TestShutdownHammer(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		m := testModel(t, 8)
+		srv := New(Options{
+			Model: m, Store: serving.NewKVStore(), Threshold: 0.5,
+			Lanes: 2, MaxBatch: 4, MaxWait: time.Millisecond, LaneDepth: 64,
+		})
+		ts := httptest.NewServer(srv.Handler())
+
+		window := m.Schema.SessionLength + core.DefaultEpsilon
+		base := synth.DefaultStart
+		var wg sync.WaitGroup
+		var accepted atomic.Int64
+		stop := make(chan struct{})
+
+		// Ingest hammers: each poster walks its own users forward in time so
+		// every accepted start also fires earlier timers (lane dispatches).
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					ev := Event{
+						Type: "start", Session: fmt.Sprintf("g%d-s%d", g, i),
+						User: g*1000 + i, Ts: base + int64(i)*(window+10), Cat: []int{0, 0},
+					}
+					body, _ := json.Marshal(ev)
+					resp, err := http.Post(ts.URL+"/event", "application/json", bytes.NewReader(body))
+					if err != nil {
+						return // server closed mid-request; shutdown won the race
+					}
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusAccepted:
+						accepted.Add(1)
+					case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					default:
+						t.Errorf("event status %d", resp.StatusCode)
+						return
+					}
+				}
+			}(g)
+		}
+		// Flush hammer: the handler that used to panic.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/flush", "application/json", nil)
+				if err != nil {
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					t.Errorf("flush status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+
+		// Let the hammer build a backlog, then shut down mid-traffic.
+		time.Sleep(20 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+		cancel()
+		close(stop)
+		wg.Wait()
+		ts.Close()
+
+		// Post-shutdown requests keep getting clean 503s (mux still mounted).
+		ts2 := httptest.NewServer(srv.Handler())
+		resp, err := http.Post(ts2.URL+"/flush", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("post-shutdown flush: status %d, want 503", resp.StatusCode)
+		}
+		ts2.Close()
+
+		// No admitted session may be lost: Shutdown's final Flush fires every
+		// outstanding timer and the lane drain finalises them all.
+		if got := srv.Stats().UpdatesRun; got != accepted.Load() {
+			t.Fatalf("round %d: updates run %d, want %d (accepted)", round, got, accepted.Load())
+		}
+	}
+}

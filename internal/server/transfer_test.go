@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serving"
+	"repro/internal/synth"
+)
+
+// TestTransferEndpointGuards pins the handoff preconditions: /export and
+// /drop refuse with 409 while sessions are pending (a mid-traffic range
+// snapshot matches no consistent state), /import refuses with 503 once the
+// server is draining, and a quiesced export→import round trip moves the
+// matching states and only them.
+func TestTransferEndpointGuards(t *testing.T) {
+	m := testModel(t, 8)
+	store := serving.NewKVStore()
+	srv := New(Options{Model: m, Store: store, Threshold: 0.5, Lanes: 1, MaxWait: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path string, v any) *http.Response {
+		body, _ := json.Marshal(v)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	allArcs := ArcsRequest{Arcs: []Arc{{Lo: 0, Hi: ^uint32(0)}}}
+
+	// A buffered session (timer not yet fired) blocks export and drop.
+	ev := Event{Type: "start", Session: "s1", User: 1, Ts: synth.DefaultStart, Cat: []int{0, 0}}
+	if resp := post("/event", ev); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("event: %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	for _, path := range []string{"/export", "/drop"} {
+		resp := post(path, allArcs)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("%s with pending sessions: %d, want 409", path, resp.StatusCode)
+		}
+	}
+
+	// Flush, then a real round trip: export everything, import into a
+	// second server, drop from the first.
+	if resp := post("/flush", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	resp := post("/export", allArcs)
+	var payload TransferPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(payload.Entries) != 1 || payload.Entries[0].Key != serving.HiddenKey(1) {
+		t.Fatalf("export payload: %+v", payload)
+	}
+
+	store2 := serving.NewKVStore()
+	srv2 := New(Options{Model: m, Store: store2, Threshold: 0.5, Lanes: 1, MaxWait: -1})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	body, _ := json.Marshal(payload)
+	resp2, err := http.Post(ts2.URL+"/import", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("import: %d", resp2.StatusCode)
+	}
+	want, _ := store.Get(serving.HiddenKey(1))
+	got, ok := store2.Get(serving.HiddenKey(1))
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatal("imported state differs from exported state")
+	}
+
+	if resp := post("/drop", allArcs); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drop: %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if keys := store.Keys(); len(keys) != 0 {
+		t.Fatalf("drop left %d keys", len(keys))
+	}
+
+	// Arc matching is exact: an arc that excludes the key's hash moves
+	// nothing.
+	pos := serving.KeyHash(serving.HiddenKey(1))
+	miss := ArcsRequest{Arcs: []Arc{{Lo: pos + 1, Hi: pos + 1}}}
+	resp3 := post("/export", ArcsRequest{Arcs: miss.Arcs})
+	var empty TransferPayload
+	if err := json.NewDecoder(resp3.Body).Decode(&empty); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if len(empty.Entries) != 0 {
+		t.Fatalf("non-matching arc exported %d entries", len(empty.Entries))
+	}
+
+	// Draining refuses imports.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp4, err := http.Post(ts2.URL+"/import", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("import while draining: %d, want 503", resp4.StatusCode)
+	}
+
+	// Malformed arcs are 400s.
+	for _, bad := range []ArcsRequest{{}, {Arcs: []Arc{{Lo: 5, Hi: 1}}}} {
+		resp := post("/export", bad)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad arcs %+v: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

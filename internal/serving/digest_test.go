@@ -1,0 +1,75 @@
+package serving
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStateDigestCombinesAcrossShards pins the cluster digest contract:
+// splitting a store's keys across disjoint stores and combining their
+// digests yields exactly the whole store's digest, regardless of which
+// store holds which key — the property that makes a user-sharded cluster's
+// aggregate digest comparable to the single-process sequential digest.
+func TestStateDigestCombinesAcrossShards(t *testing.T) {
+	whole := NewKVStore()
+	parts := []*KVStore{NewKVStore(), NewKVStore(), NewKVStore()}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("h:%d", i)
+		val := []byte(fmt.Sprintf("state-%d-%d", i, i*i))
+		whole.Put(key, val)
+		parts[i%3].Put(key, val)
+	}
+	wantDigest, wantKeys := StateDigest(whole)
+	if wantKeys != 100 {
+		t.Fatalf("keys = %d", wantKeys)
+	}
+
+	var partDigests []string
+	totalKeys := 0
+	for _, p := range parts {
+		d, k := StateDigest(p)
+		partDigests = append(partDigests, d)
+		totalKeys += k
+	}
+	got, err := CombineDigests(partDigests...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantDigest || totalKeys != wantKeys {
+		t.Fatalf("combined digest %s (%d keys), want %s (%d keys)", got, totalKeys, wantDigest, wantKeys)
+	}
+
+	// Combination order cannot matter.
+	reordered, err := CombineDigests(partDigests[2], partDigests[0], partDigests[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reordered != wantDigest {
+		t.Fatal("combined digest depends on replica order")
+	}
+
+	// The empty digest is the identity...
+	empty, _ := StateDigest(NewKVStore())
+	withEmpty, err := CombineDigests(append(partDigests, empty)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withEmpty != wantDigest {
+		t.Fatal("empty-store digest is not the identity")
+	}
+
+	// ...and a changed value changes the whole.
+	parts[1].Put("h:1", []byte("corrupted"))
+	d1, _ := StateDigest(parts[1])
+	changed, err := CombineDigests(partDigests[0], d1, partDigests[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == wantDigest {
+		t.Fatal("digest failed to detect a changed state")
+	}
+
+	if _, err := CombineDigests("zz"); err == nil {
+		t.Fatal("malformed digest must error")
+	}
+}

@@ -100,6 +100,11 @@ func (p *StreamProcessor) SetInferBatch(n int) {
 // hiddenKey is the per-user KV key.
 func hiddenKey(userID int) string { return "h:" + strconv.Itoa(userID) }
 
+// HiddenKey exposes the per-user KV key to the cluster tier: a user's ring
+// position is the hash of their hidden-state key, so routing a user and
+// matching their stored key against a hash arc agree by construction.
+func HiddenKey(userID int) string { return hiddenKey(userID) }
+
 // updateScratch holds the reusable buffers of the finalisation hot path —
 // one per processor (sequential) or per worker lane (parallel), so GRU
 // updates run allocation-free apart from the store's defensive copies.

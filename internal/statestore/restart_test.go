@@ -1,0 +1,90 @@
+package statestore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRestartThenSweepUsesRecoveredClock is the restart-then-sweep
+// regression test: a reopened store must re-seed its virtual clock (vnow)
+// from the recovered entries' own timestamps, so the first post-restart
+// sweep computes the same idle horizon the pre-crash store would have. With
+// a zero clock the horizon goes negative and the idle state below would
+// silently survive the sweep — eviction semantics differing across a
+// restart.
+func TestRestartThenSweepUsesRecoveredClock(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, EvictAfter: 100, SweepEvery: 4, Shards: 4}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("h:idle", wireState(8, 1, 1000))
+	s.Put("h:warm", wireState(8, 2, 1950))
+	s.Put("h:hot", wireState(8, 3, 2000))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Lifecycle().VirtualNow; got != 2000 {
+		t.Fatalf("recovered VirtualNow = %d, want 2000 (max recovered lastTS)", got)
+	}
+	// Trigger the first post-restart automatic sweep with puts that do NOT
+	// advance the clock past 2000: the sweep's horizon must come entirely
+	// from the recovered clock.
+	for i := 0; i < 6; i++ {
+		re.Put(fmt.Sprintf("h:new%d", i), wireState(8, 4, 2000))
+	}
+	if _, ok := re.Get("h:idle"); ok {
+		t.Fatal("post-restart sweep kept an idle state (lastTS 1000 < 2000-100) — vnow was not recovered")
+	}
+	if _, ok := re.Get("h:warm"); !ok {
+		t.Fatal("post-restart sweep evicted a warm state")
+	}
+	if ev := re.Lifecycle().IdleEvictions; ev != 1 {
+		t.Fatalf("IdleEvictions = %d, want 1", ev)
+	}
+}
+
+// TestSnapshotPersistsClockPastDeletes pins the snapshot clock record: when
+// the newest-timestamp entries are deleted before a snapshot, the snapshot
+// holds no record carrying that timestamp — only the explicit clock record
+// can restore vnow. Without it the reopened store would compute idle
+// horizons from an older clock than the pre-restart store observed.
+func TestSnapshotPersistsClockPastDeletes(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Shards: 2}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("h:a", wireState(8, 1, 500))
+	s.Put("h:b", wireState(8, 2, 90000)) // advances the clock
+	s.Delete("h:b")                      // ...then vanishes from the live set
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Lifecycle().VirtualNow; got != 90000 {
+		t.Fatalf("reopened VirtualNow = %d, want 90000 (clock observed before the delete)", got)
+	}
+	if _, ok := re.Get("h:b"); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	if _, ok := re.Get("h:a"); !ok {
+		t.Fatal("live key lost")
+	}
+}

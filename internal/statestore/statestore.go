@@ -16,6 +16,7 @@
 package statestore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"sync"
@@ -143,16 +144,29 @@ func Open(opts Options) (*Store, error) {
 	}
 	os.Remove(fmt.Sprintf("%s/%s", opts.Dir, snapTmpName)) // abandoned mid-snapshot tmp
 	apply := func(op byte, key string, val []byte) {
-		if op == opDelete {
+		switch op {
+		case opDelete:
 			s.applyRecovered(key, nil)
-		} else {
+		case opClock:
+			// Defensive: clock records live in snapshots, not the WAL, but a
+			// future layout change must not replay one as a put.
+			if len(val) == 8 {
+				maxInt64(&s.vnow, int64(binary.LittleEndian.Uint64(val)))
+			}
+		default:
 			s.applyRecovered(key, val)
 		}
 	}
-	snapRecords, err := loadSnapshot(opts.Dir, func(key string, val []byte) { s.applyRecovered(key, val) })
+	snapRecords, snapClock, err := loadSnapshot(opts.Dir, func(key string, val []byte) { s.applyRecovered(key, val) })
 	if err != nil {
 		return nil, err
 	}
+	// Re-seed the virtual clock from the snapshot's persisted clock as well
+	// as from recovered entries' own timestamps (applyRecovered). Without
+	// this, a store whose newest-timestamp entries were deleted before the
+	// snapshot would reopen with an older clock and silently change its
+	// idle-eviction semantics across the restart.
+	maxInt64(&s.vnow, snapClock)
 	oldRecords, _, err := replayFile(fmt.Sprintf("%s/%s", opts.Dir, walOldName), apply)
 	if err != nil {
 		return nil, err
@@ -186,7 +200,7 @@ func Open(opts Options) (*Store, error) {
 // log. Every crash window is safe because the snapshot already contains
 // everything the leftover logs hold, and replay is idempotent.
 func (s *Store) compactAtOpen() error {
-	err := writeSnapshot(s.opts.Dir, func(emit func(key string, val []byte) error) error {
+	err := writeSnapshot(s.opts.Dir, s.vnow.Load(), func(emit func(key string, val []byte) error) error {
 		for i := range s.shards {
 			for k, e := range s.shards[i].data {
 				if err := emit(k, e.stored); err != nil {
@@ -303,6 +317,77 @@ func (s *Store) Delete(key string) {
 	}
 }
 
+// Export streams every resident entry whose key matches, in the tagged
+// stored representation — the state-transfer seam of a cluster handoff.
+// Transferring stored bytes (rather than the wire format) means no
+// transcoding on either side: the receiving Import installs them verbatim,
+// so the moved states are byte-identical and the self-describing tag keeps
+// them decodable even when source and destination run different codecs.
+// Emitted slices alias the store's immutable entry storage: the callback
+// may retain them but must never mutate them. Entries put concurrently
+// with the export may or may not be included (handoff callers quiesce
+// first).
+func (s *Store) Export(match func(key string) bool, emit func(key string, stored []byte) error) error {
+	type kv struct {
+		k string
+		v []byte
+	}
+	var batch []kv
+	for i := range s.shards {
+		sh := &s.shards[i]
+		batch = batch[:0]
+		sh.mu.RLock()
+		for k, e := range sh.data {
+			if match(k) {
+				batch = append(batch, kv{k, e.stored})
+			}
+		}
+		sh.mu.RUnlock()
+		// Emit outside the lock: the callback typically does network or
+		// disk I/O. Stored slices are immutable once installed, so they
+		// stay valid after the lock is dropped.
+		for _, it := range batch {
+			if err := emit(it.k, it.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Import installs a tagged stored value verbatim — the receiving half of a
+// state handoff. Like Put it logs to the WAL, seeds the virtual clock from
+// the record's own timestamp, and respects the byte budget; unlike Put it
+// performs no transcoding (the value keeps whatever codec its tag names)
+// and does not advance the serving-traffic counters.
+func (s *Store) Import(key string, stored []byte) {
+	e := &entry{stored: append([]byte(nil), stored...)}
+	e.lastTS = storedTS(e.stored)
+	e.ref.Store(true)
+	maxInt64(&s.vnow, e.lastTS)
+
+	delta := int64(len(key) + len(e.stored))
+	sh := s.shard(key)
+	sh.mu.Lock()
+	if old, ok := sh.data[key]; ok {
+		delta -= int64(len(key) + len(old.stored))
+	}
+	sh.data[key] = e
+	needSnap := s.logAppend(opPut, key, e.stored)
+	sh.mu.Unlock()
+	s.bytesStored.Add(delta)
+
+	if needSnap {
+		s.snapshot()
+	}
+	s.maybeSweep()
+}
+
+// DecodeStoredValue converts a tagged stored value (as emitted by Export)
+// back to the wire format, allocating a fresh slice. It lets a volatile
+// store ingest a statestore export without linking the codec internals.
+func DecodeStoredValue(stored []byte) []byte { return decodeWire(stored) }
+
 // Keys snapshots the resident keyset (per-shard consistent, unordered).
 func (s *Store) Keys() []string {
 	var out []string
@@ -389,7 +474,7 @@ func (s *Store) snapshot() {
 		s.setErr(err)
 		return
 	}
-	err = writeSnapshot(s.opts.Dir, func(emit func(key string, val []byte) error) error {
+	err = writeSnapshot(s.opts.Dir, s.vnow.Load(), func(emit func(key string, val []byte) error) error {
 		for i := range s.shards {
 			sh := &s.shards[i]
 			sh.mu.RLock()

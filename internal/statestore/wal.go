@@ -32,6 +32,13 @@ import (
 const (
 	opPut    byte = 1
 	opDelete byte = 2
+	// opClock persists the virtual clock: an empty key and an 8-byte
+	// little-endian timestamp. Snapshots carry one as their first record so
+	// recovery re-seeds vnow even when the newest-timestamp entries were
+	// deleted before the snapshot (put records re-seed it for everything
+	// else — maxInt64 keeps replay monotone either way). Without it, a
+	// restart silently lowered the idle-eviction horizon.
+	opClock byte = 3
 
 	walName     = "wal.log"
 	walOldName  = "wal.old.log"
@@ -73,7 +80,7 @@ func parseRecord(data []byte) (op byte, key string, val []byte, frame int, err e
 	op = data[0]
 	kl := int(binary.LittleEndian.Uint32(data[1:]))
 	vl := int(binary.LittleEndian.Uint32(data[5:]))
-	if op != opPut && op != opDelete {
+	if op != opPut && op != opDelete && op != opClock {
 		return 0, "", nil, 0, fmt.Errorf("statestore: bad op %d", op)
 	}
 	frame = recordHeaderLen + kl + vl + recordTrailerLen
@@ -259,7 +266,7 @@ func replayFile(path string, apply func(op byte, key string, val []byte)) (recor
 // into place. The caller guarantees the WAL was rotated before any shard
 // is scanned (see Store.snapshot for why that ordering is crash-safe) and
 // retires the pre-rotation log afterwards via wal.retireOld, under walMu.
-func writeSnapshot(dir string, scan func(emit func(key string, val []byte) error) error) error {
+func writeSnapshot(dir string, clock int64, scan func(emit func(key string, val []byte) error) error) error {
 	tmp := filepath.Join(dir, snapTmpName)
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -267,6 +274,20 @@ func writeSnapshot(dir string, scan func(emit func(key string, val []byte) error
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
 	var buf []byte
+	// The clock record leads the snapshot: recovery must never compute an
+	// idle horizon from a clock older than the one the snapshotting store
+	// observed, even if every recent-timestamp entry was deleted before the
+	// snapshot. (Entries scanned after concurrent puts may carry newer
+	// timestamps; replay takes the max, so a slightly stale clock here can
+	// only be caught up, never regress anything.)
+	var ts [8]byte
+	binary.LittleEndian.PutUint64(ts[:], uint64(clock))
+	buf = appendRecord(buf, opClock, "", ts[:])
+	if _, err := bw.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	err = scan(func(key string, val []byte) error {
 		buf = appendRecord(buf, opPut, key, val)
 		_, werr := bw.Write(buf)
@@ -288,27 +309,36 @@ func writeSnapshot(dir string, scan func(emit func(key string, val []byte) error
 	return os.Rename(tmp, filepath.Join(dir, snapName))
 }
 
-// loadSnapshot feeds every snapshot record to apply. Snapshots are written
-// atomically, so a torn record here is real corruption, not a crash.
-func loadSnapshot(dir string, apply func(key string, val []byte)) (records int, err error) {
+// loadSnapshot feeds every snapshot record to apply and returns the
+// persisted virtual clock (0 for pre-clock snapshots, which remain
+// readable). Snapshots are written atomically, so a torn record here is
+// real corruption, not a crash.
+func loadSnapshot(dir string, apply func(key string, val []byte)) (records int, clock int64, err error) {
 	data, err := os.ReadFile(filepath.Join(dir, snapName))
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil
+		return 0, 0, nil
 	}
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	off := 0
 	for off < len(data) {
 		op, key, val, frame, perr := parseRecord(data[off:])
 		if perr != nil {
-			return records, fmt.Errorf("statestore: corrupt snapshot at %d: %w", off, perr)
+			return records, clock, fmt.Errorf("statestore: corrupt snapshot at %d: %w", off, perr)
 		}
-		if op == opPut {
+		switch op {
+		case opPut:
 			apply(key, val)
+			records++
+		case opClock:
+			if len(val) == 8 {
+				if ts := int64(binary.LittleEndian.Uint64(val)); ts > clock {
+					clock = ts
+				}
+			}
 		}
 		off += frame
-		records++
 	}
-	return records, nil
+	return records, clock, nil
 }
