@@ -1,0 +1,98 @@
+// Command ppescape is the escape-analysis regression gate. It rebuilds
+// the packages named in the pinned hot-path config with -gcflags=-m in
+// a throwaway build cache, attributes every heap-escape message to its
+// enclosing function, and exits non-zero if a pinned function carries
+// an escape its baseline does not allow.
+//
+// Usage:
+//
+//	ppescape [-config cmd/ppescape/hotpaths.conf] [-keep-cache] [-v]
+//
+// The throwaway GOCACHE exists because -m diagnostics are only emitted
+// when the compiler actually runs; against a warm cache the gate would
+// pass vacuously. -keep-cache trades that safety for speed in local
+// iteration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis/escape"
+)
+
+func main() {
+	configPath := flag.String("config", filepath.Join("cmd", "ppescape", "hotpaths.conf"), "pinned hot-path list")
+	keepCache := flag.Bool("keep-cache", false, "reuse the ambient GOCACHE (fast, but may skip compilation and miss escapes)")
+	verbose := flag.Bool("v", false, "print every escape attributed to a pinned package, including allowed ones")
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	cfgPath := *configPath
+	if !filepath.IsAbs(cfgPath) {
+		cfgPath = filepath.Join(root, cfgPath)
+	}
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	hot, err := escape.ParseConfig(data)
+	if err != nil {
+		fatal(err)
+	}
+	if len(hot) == 0 {
+		fatal(fmt.Errorf("%s pins no functions", *configPath))
+	}
+
+	out, err := escape.RunBuild(root, escape.Pkgs(hot), !*keepCache)
+	if err != nil {
+		fatal(err)
+	}
+	escapes := escape.ParseBuildOutput(out)
+	if *verbose {
+		for _, e := range escapes {
+			fmt.Printf("escape: %s:%d: %s\n", e.File, e.Line, e.Msg)
+		}
+	}
+	violations, err := escape.Attribute(root, escapes, hot)
+	if err != nil {
+		fatal(err)
+	}
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "ppescape: %d new heap escape(s) on pinned hot paths\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Printf("ppescape: %d pinned function(s) clean (%d escape message(s) inspected)\n", len(hot), len(escapes))
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, mirroring cmd/pplint.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppescape:", err)
+	os.Exit(2)
+}

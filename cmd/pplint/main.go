@@ -1,0 +1,143 @@
+// Command pplint runs the project-invariant analyzer suite over this
+// module: virtualclock, floatorder, lockcheck and walerrcheck (see
+// internal/analysis for what each encodes and why). It exits non-zero
+// if any finding survives the //pplint:allow seams, making it usable as
+// a CI gate:
+//
+//	pplint ./...             # analyze the whole module
+//	pplint ./internal/serving ./internal/statestore
+//	pplint -list             # print the suite
+//
+// Only ./...-style module patterns are supported (the loader is
+// stdlib-only and resolves packages inside the enclosing module).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pplint [flags] [./... | ./pkg/dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pplint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pplint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pplint: %v\n", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := resolvePatterns(loader, root, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pplint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.RunAnalyzers(pkgs, suite)
+	for _, d := range diags {
+		// Print paths relative to the module root for stable output.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pplint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// resolvePatterns maps command-line package patterns to loaded
+// packages. "./..." (or no arguments) loads the whole module; "./dir"
+// loads one directory.
+func resolvePatterns(loader *analysis.Loader, root string, patterns []string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*analysis.Package
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "all" {
+			all, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, all...)
+			continue
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("package %s is outside the module", pat)
+		}
+		importPath := loader.ModulePath
+		if rel != "." {
+			importPath = loader.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.Load(importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

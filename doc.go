@@ -26,7 +26,13 @@
 //   - internal/cluster — user-sharded serving cluster: consistent-hash
 //     ring, forwarding/aggregating router, drain-and-handoff resharding
 //   - internal/experiments — one driver per table/figure (§8-9)
+//   - internal/analysis — pplint: project-specific static analyzers that
+//     enforce the repo's clock, float-order, locking and durability
+//     invariants (internal/analysis/escape is the heap-escape gate)
+//   - internal/leakcheck — goroutine-leak assertions for test mains
 //   - cmd/{ppgen,ppbench,ppserve,ppload,pprouter} — command-line tools
+//   - cmd/{pplint,ppescape} — CI gates: the analyzer driver and the
+//     escape-analysis regression checker over cmd/ppescape/hotpaths.conf
 //   - examples/ — runnable walkthroughs of the public API
 //
 // See DESIGN.md for the system inventory and per-experiment index, and

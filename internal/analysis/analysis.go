@@ -1,0 +1,218 @@
+// Package analysis implements pplint, a suite of project-specific static
+// analyzers that encode this repo's serving and durability invariants:
+//
+//   - virtualclock — no wall-clock reads in replay-deterministic packages
+//   - floatorder — no float accumulation ordered by Go map iteration
+//   - lockcheck — every Lock has an Unlock on all return paths, and no
+//     blocking operation runs while a shard/WAL mutex is held
+//   - walerrcheck — no discarded errors on the durability surface
+//
+// The suite runs on a stdlib-only loader (see Loader) because the build
+// sandbox cannot fetch golang.org/x/tools; the Analyzer/Pass shape
+// mirrors x/tools/go/analysis so a multichecker driver could be swapped
+// in later without rewriting the analyzers.
+//
+// Findings are suppressed at explicitly annotated seams with a
+//
+//	//pplint:allow <analyzer> [<analyzer>...]
+//
+// comment on the flagged line, on the line directly above it, or in the
+// doc comment of the enclosing function declaration (which suppresses
+// that analyzer for the whole function). An annotation is a claim that
+// a human checked the site — e.g. a wall-clock read that only feeds an
+// uptime gauge, never a replayed decision.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *Pass)
+}
+
+// A Diagnostic is one finding, already position-resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+	allow *allowIndex
+}
+
+// Reportf records a finding unless an //pplint:allow seam covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.allow.covers(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{VirtualClock, FloatOrder, LockCheck, WALErrCheck}
+}
+
+// RunAnalyzers applies the given analyzers to the given packages and
+// returns the findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, allow: allow}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// allowIndex records, per file, which lines and line ranges are covered
+// by //pplint:allow annotations.
+type allowIndex struct {
+	// lines maps filename → line → analyzer names allowed on that line
+	// and the line below it.
+	lines map[string]map[int]map[string]bool
+	// ranges covers whole function bodies whose doc comment carries an
+	// annotation.
+	ranges []allowRange
+}
+
+type allowRange struct {
+	filename  string
+	from, to  int
+	analyzers map[string]bool
+}
+
+const allowPrefix = "pplint:allow"
+
+// parseAllow extracts analyzer names from a "//pplint:allow a b" text.
+func parseAllow(text string) map[string]bool {
+	text = strings.TrimPrefix(strings.TrimPrefix(text, "//"), "/*")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, allowPrefix)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil
+	}
+	names := make(map[string]bool)
+	for _, f := range strings.Fields(strings.TrimSuffix(rest, "*/")) {
+		names[strings.TrimSuffix(f, ",")] = true
+	}
+	return names
+}
+
+func buildAllowIndex(pkg *Package) *allowIndex {
+	idx := &allowIndex{lines: make(map[string]map[int]map[string]bool)}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := idx.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx.lines[pos.Filename] = byLine
+				}
+				merge(byLine, pos.Line, names)
+			}
+		}
+		// Function-level seams: an annotation anywhere in a FuncDecl's
+		// doc comment covers the whole body.
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || fn.Body == nil {
+				continue
+			}
+			names := make(map[string]bool)
+			for _, c := range fn.Doc.List {
+				for n := range parseAllow(c.Text) {
+					names[n] = true
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			from := pkg.Fset.Position(fn.Pos())
+			to := pkg.Fset.Position(fn.Body.End())
+			idx.ranges = append(idx.ranges, allowRange{
+				filename:  from.Filename,
+				from:      from.Line,
+				to:        to.Line,
+				analyzers: names,
+			})
+		}
+	}
+	return idx
+}
+
+func merge(byLine map[int]map[string]bool, line int, names map[string]bool) {
+	if byLine[line] == nil {
+		byLine[line] = make(map[string]bool)
+	}
+	for n := range names {
+		byLine[line][n] = true
+	}
+}
+
+func (idx *allowIndex) covers(pos token.Position, analyzer string) bool {
+	if byLine := idx.lines[pos.Filename]; byLine != nil {
+		// Same line (trailing comment) or the line directly above
+		// (annotation on its own line).
+		if byLine[pos.Line][analyzer] || byLine[pos.Line-1][analyzer] {
+			return true
+		}
+	}
+	for _, r := range idx.ranges {
+		if r.filename == pos.Filename && r.from <= pos.Line && pos.Line <= r.to && r.analyzers[analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgPathHasSuffix reports whether pkgPath is exactly suffix or ends in
+// "/"+suffix. Analyzers match packages by path suffix so the same rules
+// apply to the real module ("repro/internal/serving") and to test
+// fixture modules ("fixmod/internal/serving").
+func pkgPathHasSuffix(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Each fixture under testdata/ is a self-contained module seeded with
+// known-bad code that must flag and known-good code (including
+// //pplint:allow seams) that must pass. Expectations ride on the
+// flagged lines as `// want "substring"` comments, analysistest-style:
+// every want must be matched by exactly one diagnostic on that line,
+// and every diagnostic must be claimed by a want.
+
+func TestVirtualClockFixture(t *testing.T) {
+	runFixture(t, "virtualclock", VirtualClock)
+}
+
+func TestFloatOrderFixture(t *testing.T) {
+	runFixture(t, "floatorder", FloatOrder)
+}
+
+func TestLockCheckFixture(t *testing.T) {
+	runFixture(t, "lockcheck", LockCheck)
+}
+
+func TestWALErrCheckFixture(t *testing.T) {
+	runFixture(t, "walerrcheck", WALErrCheck)
+}
+
+type wantDiag struct {
+	file string
+	line int
+	sub  string
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+func runFixture(t *testing.T, name string, analyzer *Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", name)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("opening fixture module: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("loading fixture packages: %v", err)
+	}
+	diags := RunAnalyzers(pkgs, []*Analyzer{analyzer})
+
+	wants := collectWants(t, root)
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || filepath.Base(d.Pos.Filename) != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if !strings.Contains(d.Message, w.sub) {
+				t.Errorf("%s:%d: diagnostic %q does not contain want %q", w.file, w.line, d.Message, w.sub)
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("%s:%d: want %q, got no diagnostic", w.file, w.line, w.sub)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// collectWants scans every fixture .go file for `// want "..."`
+// markers.
+func collectWants(t *testing.T, root string) []wantDiag {
+	t.Helper()
+	var wants []wantDiag
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, wantDiag{file: filepath.Base(path), line: i + 1, sub: m[1]})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning wants: %v", err)
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want markers", root)
+	}
+	return wants
+}
+
+// TestAllowFormats pins the annotation grammar the analyzers honour.
+func TestAllowFormats(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//pplint:allow virtualclock", []string{"virtualclock"}},
+		{"// pplint:allow lockcheck", []string{"lockcheck"}},
+		{"//pplint:allow lockcheck walerrcheck", []string{"lockcheck", "walerrcheck"}},
+		{"//pplint:allow virtualclock (uptime gauge only)", []string{"virtualclock"}},
+		{"// a normal comment", nil},
+		{"//pplint:allowother", nil},
+	}
+	for _, c := range cases {
+		got := parseAllow(c.text)
+		for _, name := range c.want {
+			if !got[name] {
+				t.Errorf("parseAllow(%q): missing %q (got %v)", c.text, name, got)
+			}
+		}
+		if c.want == nil && len(got) != 0 {
+			t.Errorf("parseAllow(%q): expected no names, got %v", c.text, got)
+		}
+	}
+}
+
+func ExampleDiagnostic() {
+	d := Diagnostic{Analyzer: "virtualclock", Message: "wall-clock read"}
+	d.Pos.Filename = "serving.go"
+	d.Pos.Line, d.Pos.Column = 10, 2
+	fmt.Println(d)
+	// Output: serving.go:10:2: virtualclock: wall-clock read
+}

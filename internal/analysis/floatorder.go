@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrder flags floating-point accumulation whose order depends on
+// Go map iteration: ranging over a map and folding float values with
+// += / -= / sum = sum + v (directly, or one call deep into a function
+// that accumulates floats into shared state). Map iteration order is
+// deliberately randomized by the runtime, and float addition is not
+// associative, so such a fold produces a different bit pattern on every
+// run — the canonical way this repo silently loses byte-identical
+// digest parity between replay tiers. The fix is to sort the keys (or
+// accumulate into per-key slots) before folding.
+var FloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "flag float accumulation ordered by map iteration (breaks bit-exact digest parity)",
+	Run:  runFloatOrder,
+}
+
+func runFloatOrder(pass *Pass) {
+	decls := funcDeclIndex(pass.Pkg)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Pkg.Info.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng, decls)
+			return true
+		})
+	}
+}
+
+// funcDeclIndex maps the package's own function objects to their
+// declarations, for the one-call-deep accumulation check.
+func funcDeclIndex(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	idx := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					idx[obj] = fn
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, decls map[*types.Func]*ast.FuncDecl) {
+	keyObj := rangeVarObj(pass, rng.Key)
+	valObj := rangeVarObj(pass, rng.Value)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if lhs, ok := floatAccumTarget(pass, n); ok {
+				// An indexed write keyed by the loop variable hits a
+				// distinct slot per iteration (out[k] += v), so order
+				// across iterations cannot change any slot's value.
+				if keyObj != nil && indexedByVar(pass, lhs, keyObj) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"floating-point accumulation into %s is ordered by map iteration (range at line %d); float addition is not associative, so the result differs run to run — sort the keys before folding",
+					exprString(lhs), pass.Pkg.Fset.Position(rng.Pos()).Line)
+			}
+		case *ast.CallExpr:
+			checkCallDeepAccum(pass, rng, n, keyObj, valObj, decls)
+		}
+		return true
+	})
+}
+
+func rangeVarObj(pass *Pass, e ast.Expr) types.Object {
+	ident, ok := e.(*ast.Ident)
+	if !ok || ident.Name == "_" {
+		return nil
+	}
+	return pass.Pkg.Info.Defs[ident]
+}
+
+// floatAccumTarget reports whether the assignment folds a float into
+// its left-hand side: x += v, x -= v, or x = x + v / x = x - v.
+func floatAccumTarget(pass *Pass, n *ast.AssignStmt) (ast.Expr, bool) {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(n.Lhs) == 1 && isFloat(pass, n.Lhs[0]) {
+			return n.Lhs[0], true
+		}
+	case token.ASSIGN:
+		if len(n.Lhs) != 1 || len(n.Rhs) != 1 || !isFloat(pass, n.Lhs[0]) {
+			return nil, false
+		}
+		bin, ok := n.Rhs[0].(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+			return nil, false
+		}
+		if sameIdentObj(pass, n.Lhs[0], bin.X) || sameIdentObj(pass, n.Lhs[0], bin.Y) {
+			return n.Lhs[0], true
+		}
+	}
+	return nil, false
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	t := pass.Pkg.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func sameIdentObj(pass *Pass, a, b ast.Expr) bool {
+	ai, ok1 := a.(*ast.Ident)
+	bi, ok2 := b.(*ast.Ident)
+	if !ok1 || !ok2 {
+		return false
+	}
+	ao := pass.Pkg.Info.Uses[ai]
+	if ao == nil {
+		ao = pass.Pkg.Info.Defs[ai]
+	}
+	bo := pass.Pkg.Info.Uses[bi]
+	return ao != nil && ao == bo
+}
+
+// indexedByVar reports whether lhs is an index expression whose index
+// mentions the given loop variable (a per-key slot).
+func indexedByVar(pass *Pass, lhs ast.Expr, obj types.Object) bool {
+	idx, ok := lhs.(*ast.IndexExpr)
+	return ok && mentionsObj(pass, idx.Index, obj)
+}
+
+func mentionsObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[ident] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkCallDeepAccum flags calls, one level deep, that accumulate
+// floats into state shared across iterations: the callee is declared in
+// this package, an argument (or the method receiver) mentions a range
+// variable, and the callee body folds floats into memory visible to the
+// caller (a field, an element write not keyed per iteration, a pointer
+// dereference, or a package-level variable).
+func checkCallDeepAccum(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr, keyObj, valObj types.Object, decls map[*types.Func]*ast.FuncDecl) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	decl, ok := decls[fn]
+	if !ok || decl.Body == nil {
+		return
+	}
+	carriesLoopData := false
+	for _, arg := range call.Args {
+		if (keyObj != nil && mentionsObj(pass, arg, keyObj)) || (valObj != nil && mentionsObj(pass, arg, valObj)) {
+			carriesLoopData = true
+			break
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && !carriesLoopData {
+		carriesLoopData = (keyObj != nil && mentionsObj(pass, sel.X, keyObj)) ||
+			(valObj != nil && mentionsObj(pass, sel.X, valObj))
+	}
+	if !carriesLoopData {
+		return
+	}
+	if target, ok := accumulatesSharedFloats(pass, decl); ok {
+		pass.Reportf(call.Pos(),
+			"call to %s accumulates floats into %s, one call below a range over a map (line %d); iteration order changes the result — sort the keys before folding",
+			fn.Name(), target, pass.Pkg.Fset.Position(rng.Pos()).Line)
+	}
+}
+
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// accumulatesSharedFloats reports whether the function body contains a
+// float fold whose target outlives one call: a selector (field), an
+// index or star expression, or an identifier bound outside the function
+// (package-level state).
+func accumulatesSharedFloats(pass *Pass, decl *ast.FuncDecl) (string, bool) {
+	target, found := "", false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		lhs, ok := floatAccumTarget(pass, assign)
+		if !ok {
+			return true
+		}
+		switch l := lhs.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			target, found = exprString(lhs), true
+		case *ast.Ident:
+			if obj := pass.Pkg.Info.Uses[l]; obj != nil && obj.Parent() == pass.Pkg.Types.Scope() {
+				target, found = exprString(lhs), true
+			}
+		}
+		return !found
+	})
+	return target, found
+}

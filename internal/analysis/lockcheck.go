@@ -1,0 +1,457 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck encodes the locking discipline the PR-4/PR-5 shutdown and
+// snapshot races were fixed under:
+//
+//  1. every Lock()/RLock() must be released on every return path of the
+//     same function (an explicit Unlock on each path, or a defer), and
+//  2. no blocking operation — channel send/receive, select without a
+//     default, a net/http round-trip, an os.File write/sync — may run
+//     while a mutex is held. A shard or WAL mutex guards a hot section;
+//     blocking under it stalls every contender and is how the /flush
+//     vs. SIGTERM send-on-closed-lane panic family starts.
+//
+// The analysis is intra-procedural and branch-sensitive but not
+// interprocedural: a helper that locks on behalf of its caller (or
+// blocks two calls deep) is not seen. Sites where holding a mutex
+// across a call is the design — e.g. the WAL append path, where the
+// walMu *is* the file-ordering mechanism — stay silent here because the
+// file write happens one call down; truly intentional direct sites are
+// annotated //pplint:allow lockcheck.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "locks released on every return path; no blocking ops while a mutex is held",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				sim := &lockSim{pass: pass}
+				sim.checkFunc(fn.Body)
+			}
+		}
+	}
+}
+
+// heldLock tracks one acquired mutex inside a function.
+type heldLock struct {
+	pos      token.Pos // position of the Lock/RLock call
+	op       string    // "Lock" or "RLock"
+	deferred bool      // a defer releases it at function exit
+}
+
+type lockState map[string]*heldLock
+
+func (st lockState) clone() lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+type lockSim struct {
+	pass *Pass
+}
+
+// checkFunc simulates one function body. Function literals found inside
+// are checked independently with an empty lock state (their bodies run
+// on other goroutines or at defer time, not at the lexical point).
+func (s *lockSim) checkFunc(body *ast.BlockStmt) {
+	st := make(lockState)
+	terminated := s.stmts(body.List, st)
+	if terminated {
+		return
+	}
+	for key, h := range st {
+		if !h.deferred {
+			s.pass.Reportf(body.End(),
+				"function exits with %s still %sed (acquired at line %d); unlock on every path or defer the unlock",
+				key, h.op, s.line(h.pos))
+		}
+	}
+}
+
+func (s *lockSim) line(pos token.Pos) int { return s.pass.Pkg.Fset.Position(pos).Line }
+
+// stmts walks a statement list, mutating st, and reports whether the
+// list definitely terminates (returns, panics, or exits).
+func (s *lockSim) stmts(list []ast.Stmt, st lockState) bool {
+	for _, stmt := range list {
+		if s.stmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *lockSim) stmt(stmt ast.Stmt, st lockState) bool {
+	switch n := stmt.(type) {
+	case *ast.ExprStmt:
+		s.expr(n.X, st)
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if s.applyLockOp(call, st) {
+				return false
+			}
+			if isTerminalCall(s.pass, call) {
+				return true
+			}
+		}
+	case *ast.SendStmt:
+		s.reportBlocking(n.Pos(), "channel send", st)
+		s.expr(n.Chan, st)
+		s.expr(n.Value, st)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			s.expr(e, st)
+		}
+		for _, e := range n.Lhs {
+			s.expr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e, st)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		s.applyDefer(n, st)
+	case *ast.GoStmt:
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			s.checkFunc(lit.Body)
+		}
+		for _, e := range n.Call.Args {
+			s.expr(e, st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			s.expr(e, st)
+		}
+		for key, h := range st {
+			if !h.deferred {
+				s.pass.Reportf(n.Pos(),
+					"returns with %s still %sed (acquired at line %d); unlock on every path or defer the unlock",
+					key, h.op, s.line(h.pos))
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if n.Init != nil {
+			s.stmt(n.Init, st)
+		}
+		s.expr(n.Cond, st)
+		thenSt := st.clone()
+		thenTerm := s.stmts(n.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if n.Else != nil {
+			elseTerm = s.stmt(n.Else, elseSt)
+		}
+		mergeBranches(st, []branchExit{{thenSt, thenTerm}, {elseSt, elseTerm}})
+		return thenTerm && elseTerm
+	case *ast.BlockStmt:
+		return s.stmts(n.List, st)
+	case *ast.ForStmt:
+		if n.Init != nil {
+			s.stmt(n.Init, st)
+		}
+		if n.Cond != nil {
+			s.expr(n.Cond, st)
+		}
+		bodySt := st.clone()
+		s.stmts(n.Body.List, bodySt)
+		if n.Post != nil {
+			s.stmt(n.Post, bodySt)
+		}
+		mergeBranches(st, []branchExit{{bodySt, false}})
+	case *ast.RangeStmt:
+		s.expr(n.X, st)
+		bodySt := st.clone()
+		s.stmts(n.Body.List, bodySt)
+		mergeBranches(st, []branchExit{{bodySt, false}})
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return s.switchStmt(n, st)
+	case *ast.SelectStmt:
+		return s.selectStmt(n, st)
+	case *ast.LabeledStmt:
+		return s.stmt(n.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this lexical walk; treated as
+		// terminating the current path (conservative, may miss a held
+		// lock flowing around a loop edge).
+		return true
+	case *ast.IncDecStmt:
+		s.expr(n.X, st)
+	}
+	return false
+}
+
+type branchExit struct {
+	st         lockState
+	terminated bool
+}
+
+// mergeBranches folds the exits of the non-terminated branches back
+// into st: a lock is considered held after the merge if any live branch
+// exits holding it (union — conservative on "forgot to unlock in one
+// arm" at the cost of over-reporting never-taken paths).
+func mergeBranches(st lockState, exits []branchExit) {
+	for k := range st {
+		delete(st, k)
+	}
+	for _, exit := range exits {
+		if exit.terminated {
+			continue
+		}
+		for k, h := range exit.st {
+			if prev, ok := st[k]; ok {
+				prev.deferred = prev.deferred || h.deferred
+			} else {
+				st[k] = h
+			}
+		}
+	}
+}
+
+func (s *lockSim) switchStmt(stmt ast.Stmt, st lockState) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch n := stmt.(type) {
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			s.stmt(n.Init, st)
+		}
+		if n.Tag != nil {
+			s.expr(n.Tag, st)
+		}
+		body = n.Body
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			s.stmt(n.Init, st)
+		}
+		s.stmt(n.Assign, st)
+		body = n.Body
+	}
+	var exits []branchExit
+	for _, c := range body.List {
+		clause := c.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		cs := st.clone()
+		exits = append(exits, branchExit{cs, s.stmts(clause.Body, cs)})
+	}
+	if !hasDefault {
+		exits = append(exits, branchExit{st.clone(), false})
+	}
+	allTerm := len(exits) > 0
+	for _, e := range exits {
+		if !e.terminated {
+			allTerm = false
+		}
+	}
+	mergeBranches(st, exits)
+	return allTerm
+}
+
+func (s *lockSim) selectStmt(n *ast.SelectStmt, st lockState) bool {
+	hasDefault := false
+	for _, c := range n.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		s.reportBlocking(n.Pos(), "select without a default case", st)
+	}
+	var exits []branchExit
+	for _, c := range n.Body.List {
+		clause := c.(*ast.CommClause)
+		cs := st.clone()
+		// The comm operation itself is covered by the select-level
+		// check above (a select with a default never blocks), so it is
+		// deliberately not walked as a standalone send/receive here.
+		exits = append(exits, branchExit{cs, s.stmts(clause.Body, cs)})
+	}
+	allTerm := len(exits) > 0
+	for _, e := range exits {
+		if !e.terminated {
+			allTerm = false
+		}
+	}
+	mergeBranches(st, exits)
+	return allTerm
+}
+
+// applyDefer handles defer statements: a deferred Unlock (directly or
+// inside a deferred closure) marks the lock as released-at-exit; any
+// other deferred closure is lock-checked independently.
+func (s *lockSim) applyDefer(n *ast.DeferStmt, st lockState) {
+	if key, op, ok := mutexCall(s.pass, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+		if h, held := st[key]; held {
+			h.deferred = true
+		}
+		return
+	}
+	if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, op, ok := mutexCall(s.pass, call); ok && (op == "Unlock" || op == "RUnlock") {
+				if h, held := st[key]; held {
+					h.deferred = true
+				}
+			}
+			return true
+		})
+		s.checkFunc(lit.Body)
+	}
+}
+
+// applyLockOp updates st for a direct mutex call and reports whether
+// the call was one.
+func (s *lockSim) applyLockOp(call *ast.CallExpr, st lockState) bool {
+	key, op, ok := mutexCall(s.pass, call)
+	if !ok {
+		return false
+	}
+	switch op {
+	case "Lock", "RLock":
+		st[key] = &heldLock{pos: call.Pos(), op: op}
+	case "Unlock", "RUnlock":
+		delete(st, key)
+	}
+	return true
+}
+
+// expr scans an expression for blocking operations performed in the
+// current lock state. Function literals are checked as independent
+// functions and not descended into here.
+func (s *lockSim) expr(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.checkFunc(n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.reportBlocking(n.Pos(), "channel receive", st)
+			}
+		case *ast.CallExpr:
+			if what, ok := blockingCall(s.pass, n); ok {
+				s.reportBlocking(n.Pos(), what, st)
+			}
+		}
+		return true
+	})
+}
+
+func (s *lockSim) reportBlocking(pos token.Pos, what string, st lockState) {
+	for key, h := range st {
+		s.pass.Reportf(pos,
+			"%s while holding %s (acquired at line %d); blocking under a mutex stalls every contender — move the operation outside the critical section",
+			what, key, s.line(h.pos))
+	}
+}
+
+// mutexCall recognizes E.Lock / E.RLock / E.Unlock / E.RUnlock where
+// the method is sync.(*Mutex) or sync.(*RWMutex) (including through
+// embedding) and returns the lock key (the printed receiver expression)
+// and operation name.
+func mutexCall(pass *Pass, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// blockingCall recognizes direct calls that can block indefinitely or
+// perform I/O: net/http round-trips and os.File writes/syncs.
+func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "net/http":
+		return "net/http " + fn.Name() + " round-trip", true
+	case "os":
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteAt", "Sync", "ReadFrom", "Truncate":
+			if recvIsOSFile(fn) {
+				return "os.File " + fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+func recvIsOSFile(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	return isNamed && named.Obj().Name() == "File" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os"
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// log.Fatal*, runtime.Goexit.
+func isTerminalCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := pass.Pkg.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "log":
+			return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+		case "runtime":
+			return fn.Name() == "Goexit"
+		}
+	}
+	return false
+}

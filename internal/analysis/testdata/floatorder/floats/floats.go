@@ -1,0 +1,80 @@
+// Fixture for floatorder: float folds ordered by map iteration must
+// flag; per-key slots, integer folds, sorted-key folds and annotated
+// seams must pass.
+package floats
+
+import "sort"
+
+// Acc accumulates into shared state one call below the range.
+type Acc struct{ total float64 }
+
+// Add folds v into the accumulator.
+func (a *Acc) Add(v float64) { a.total += v }
+
+// SumMap is the canonical parity-loser: a direct += fold in map order.
+func SumMap(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "ordered by map iteration"
+	}
+	return sum
+}
+
+// SumMapExplicit spells the fold as sum = sum + v.
+func SumMapExplicit(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want "ordered by map iteration"
+	}
+	return sum
+}
+
+// SumVia folds one call deep through an accumulator method.
+func SumVia(m map[string]float64) float64 {
+	var acc Acc
+	for _, v := range m {
+		acc.Add(v) // want "accumulates floats into"
+	}
+	return acc.total
+}
+
+// Rescale writes a distinct slot per key: order across iterations
+// cannot change any slot, so it must pass.
+func Rescale(m, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v * 0.5
+	}
+}
+
+// CountMap folds integers, which are associative; must pass.
+func CountMap(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SumSorted is the prescribed fix: sort the keys, fold over the slice.
+func SumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// SumTolerant is an annotated seam (an aggregate compared with a
+// tolerance, never digested).
+func SumTolerant(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //pplint:allow floatorder
+	}
+	return sum
+}

@@ -1,0 +1,155 @@
+// Fixture for lockcheck: leaked locks on return paths and blocking
+// operations under a held mutex must flag; the disciplined patterns the
+// repo actually uses must pass.
+package locks
+
+import (
+	"errors"
+	"net/http"
+	"os"
+	"sync"
+)
+
+var errSentinel = errors.New("boom")
+
+// S carries one of everything the analyzer cares about.
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	f  *os.File
+	n  int
+}
+
+// LeakOnError forgets the unlock on the early-return path.
+func (s *S) LeakOnError(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		return errSentinel // want "returns with s.mu still Locked"
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// LeakRead leaks a read lock through the return.
+func (s *S) LeakRead() int {
+	s.rw.RLock()
+	return s.n // want "returns with s.rw still RLocked"
+}
+
+// LeakNoReturn falls off the end still holding the mutex.
+func (s *S) LeakNoReturn() {
+	s.mu.Lock()
+	s.n++
+} // want "function exits with s.mu still Locked"
+
+// SendUnderLock blocks on a channel send inside the critical section.
+func (s *S) SendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want "channel send while holding s.mu"
+}
+
+// RecvUnderLock blocks on a channel receive inside the critical section.
+func (s *S) RecvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while holding s.mu"
+}
+
+// FetchUnderLock performs an HTTP round-trip under the mutex.
+func (s *S) FetchUnderLock(c *http.Client, url string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := c.Get(url) // want "net/http Get round-trip while holding s.mu"
+	return err
+}
+
+// WriteUnderLock writes a file under the mutex.
+func (s *S) WriteUnderLock(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.f.Write(b) // want "os.File Write while holding s.mu"
+	return err
+}
+
+// SelectUnderLock parks on a default-less select under the mutex.
+func (s *S) SelectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without a default case while holding s.mu"
+	case v := <-s.ch:
+		s.n = v
+	}
+}
+
+// UnlockBothPaths releases explicitly on every return path; must pass.
+func (s *S) UnlockBothPaths(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return errSentinel
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// DeferUnlock uses the deferred release; must pass.
+func (s *S) DeferUnlock(fail bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail {
+		return errSentinel
+	}
+	return nil
+}
+
+// DeferClosureUnlock releases inside a deferred closure; must pass.
+func (s *S) DeferClosureUnlock() {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+// GuardedSend is the senders-hold-RLock / closer-holds-Lock idiom: the
+// select has a default, so the send cannot block; must pass.
+func (s *S) GuardedSend(v int) bool {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// SendAfterUnlock moves the blocking op outside the critical section;
+// must pass.
+func (s *S) SendAfterUnlock(v int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// PanicPath never returns normally while holding the lock; must pass.
+func (s *S) PanicPath(fail bool) {
+	s.mu.Lock()
+	if fail {
+		panic("boom")
+	}
+	s.mu.Unlock()
+}
+
+// AllowedRecv is an annotated drain seam (collect-under-read-lock by
+// design); must pass.
+func (s *S) AllowedRecv() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	//pplint:allow lockcheck
+	return <-s.ch
+}

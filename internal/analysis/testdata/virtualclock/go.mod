@@ -1,0 +1,3 @@
+module fixvc
+
+go 1.24

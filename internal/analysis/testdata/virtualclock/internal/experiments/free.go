@@ -1,0 +1,11 @@
+// Fixture: internal/experiments is not a replay-deterministic package,
+// so wall-clock reads are free here.
+package experiments
+
+import "time"
+
+// Free measures wall time legitimately (benchmark harness territory).
+func Free() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

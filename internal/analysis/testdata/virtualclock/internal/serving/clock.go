@@ -1,0 +1,40 @@
+// Fixture: internal/serving is a replay-deterministic package, so
+// wall-clock reads must flag unless a seam is annotated.
+package serving
+
+import "time"
+
+// Bad: raw wall-clock read on a replay path.
+func Bad() int64 {
+	return time.Now().Unix() // want "wall-clock read time.Now"
+}
+
+// Bad: durations measured off the wall clock.
+func BadSince(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want "wall-clock read time.Since"
+}
+
+// GoodFuncLevel is a reviewed seam: the whole function is allowed via
+// its doc comment.
+//
+//pplint:allow virtualclock
+func GoodFuncLevel() int64 {
+	return time.Now().Unix()
+}
+
+// GoodLineLevel allows a single read on the line above it.
+func GoodLineLevel() int64 {
+	//pplint:allow virtualclock
+	return time.Now().Unix()
+}
+
+// GoodTrailing allows a single read with a trailing comment.
+func GoodTrailing() int64 {
+	return time.Now().Unix() //pplint:allow virtualclock
+}
+
+// GoodVirtual derives time from an event timestamp — the pattern the
+// analyzer wants.
+func GoodVirtual(eventTS int64) time.Time {
+	return time.Unix(eventTS, 0)
+}

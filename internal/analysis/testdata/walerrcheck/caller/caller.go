@@ -1,0 +1,65 @@
+// Fixture: callers of the durability surface, both through the
+// concrete store and through an interface seam.
+package caller
+
+import (
+	"fmt"
+
+	"fixwal/internal/statestore"
+)
+
+// snapshotter mirrors the server.Options.State seam: the static callee
+// is an interface method, not *statestore.Store.
+type snapshotter interface {
+	Snapshot() error
+}
+
+// Bad discards durability errors three ways.
+func Bad(s *statestore.Store) {
+	s.Snapshot()     // want "error result of s.Snapshot discarded"
+	_ = s.Snapshot() // want "error result of s.Snapshot assigned to _"
+	defer s.Close()  // want "deferred s.Close discards its error"
+}
+
+// BadSeam discards through the interface seam.
+func BadSeam(s snapshotter) {
+	s.Snapshot() // want "error result of s.Snapshot discarded"
+}
+
+// BadOpen blanks the error position of a statestore call.
+func BadOpen() {
+	_, _ = statestore.Open("dir") // want "error result of statestore.Open assigned to _"
+}
+
+// Good consumes every error; must pass.
+func Good(s *statestore.Store) error {
+	if err := s.Snapshot(); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+// GoodDefer captures the deferred close into the named return; must
+// pass.
+func GoodDefer(s *statestore.Store) (err error) {
+	defer func() {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return s.Snapshot()
+}
+
+// GoodAllowed is an annotated best-effort seam; must pass.
+func GoodAllowed(s *statestore.Store) {
+	s.Snapshot() //pplint:allow walerrcheck
+}
+
+// GoodUnguarded discards an error outside the durability surface; the
+// analyzer must not fire on generic error-returning calls.
+func GoodUnguarded() {
+	fmt.Println("not a durability call")
+}
+
+// GoodKeys calls an error-free method; must pass.
+func GoodKeys(s *statestore.Store) int { return len(s.Keys()) }

@@ -1,0 +1,3 @@
+module fixwal
+
+go 1.24

@@ -1,0 +1,18 @@
+package statestore
+
+import "os"
+
+// cleanup discards os-surface errors inside the statestore package
+// itself — the fsync surface is the durability floor, so both flag.
+func cleanup(f *os.File, tmp string) {
+	f.Close()      // want "error result of f.Close discarded"
+	os.Remove(tmp) // want "error result of os.Remove discarded"
+}
+
+// goodCleanup propagates both; must pass.
+func goodCleanup(f *os.File, tmp string) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(tmp)
+}

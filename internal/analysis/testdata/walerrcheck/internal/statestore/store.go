@@ -1,0 +1,23 @@
+// Fixture: a miniature durability surface with the real statestore's
+// API shape. Any caller discarding these errors must flag.
+package statestore
+
+// Store is the stand-in durable store.
+type Store struct{}
+
+// Open opens a store.
+func Open(dir string) (*Store, error) { return &Store{}, nil }
+
+// Close flushes and closes the WAL.
+func (s *Store) Close() error { return nil }
+
+// Snapshot forces a snapshot + WAL rotation.
+func (s *Store) Snapshot() error { return nil }
+
+// Export streams stored entries.
+func (s *Store) Export(match func(string) bool, emit func(string, []byte) error) error {
+	return nil
+}
+
+// Keys lists keys (no error: must never flag).
+func (s *Store) Keys() []string { return nil }

@@ -1,0 +1,9 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// clockRestrictedPkgs are the package-path suffixes where wall-clock
+// reads are forbidden. These are the packages on the deterministic
+// replay path: state updates are driven by event timestamps (the
+// virtual clock), so sequential, parallel, batched, HTTP and clustered
+// replays of the same log produce byte-identical states and digests. A
+// single time.Now() in one of them re-introduces wall-clock dependence
+// and silently breaks that parity — or, in the statestore, breaks the
+// virtual-clock eviction discipline (idle eviction must compare event
+// time against event time, never against the host's clock).
+var clockRestrictedPkgs = []string{
+	"internal/serving",
+	"internal/statestore",
+	"internal/nn",
+	"internal/tensor",
+	"internal/cluster",
+}
+
+// clockFuncs are the forbidden time-package reads.
+var clockFuncs = map[string]bool{"Now": true, "Since": true}
+
+// VirtualClock forbids time.Now/time.Since in replay-deterministic
+// packages except at annotated seams.
+var VirtualClock = &Analyzer{
+	Name: "virtualclock",
+	Doc:  "forbid wall-clock reads (time.Now/time.Since) in replay-deterministic packages",
+	Run:  runVirtualClock,
+}
+
+func runVirtualClock(pass *Pass) {
+	restricted := false
+	for _, suffix := range clockRestrictedPkgs {
+		if pkgPathHasSuffix(pass.Pkg.PkgPath, suffix) {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !clockFuncs[sel.Sel.Name] {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"wall-clock read time.%s in replay-deterministic package %s; derive time from event timestamps (the virtual clock) or annotate a reviewed seam with //pplint:allow virtualclock",
+				sel.Sel.Name, pass.Pkg.PkgPath)
+			return true
+		})
+	}
+}

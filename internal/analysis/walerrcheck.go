@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WALErrCheck flags discarded error results on the durability surface.
+// A dropped error from the statestore's append/snapshot/rotate/fsync
+// path, or from an Export/Import/Snapshot seam, means state the caller
+// believes is acknowledged may not survive a crash — the exact failure
+// the WAL exists to prevent. Three rules:
+//
+//  1. any call into a package ending in internal/statestore whose last
+//     result is an error must consume that error;
+//  2. any call to a method named Snapshot, Export or Import returning
+//     an error must consume it, whatever the receiver — this covers the
+//     serving/server interface seams (e.g. server.Options.State) where
+//     the static callee is an interface, not *statestore.Store;
+//  3. inside internal/statestore itself, os-package file mutations
+//     (Write/Sync/Close/Truncate/Rename/Remove/WriteFile/...) must
+//     consume their errors: the fsync surface is the durability floor.
+//
+// Discarding covers expression statements, defer/go statements, and
+// assigning the error position to the blank identifier. Best-effort
+// sites must say so with //pplint:allow walerrcheck.
+var WALErrCheck = &Analyzer{
+	Name: "walerrcheck",
+	Doc:  "no discarded errors from the statestore durability surface or Export/Import/Snapshot seams",
+	Run:  runWALErrCheck,
+}
+
+// osDurabilityFuncs are the os-package calls rule 3 guards.
+var osDurabilityFuncs = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true, "Sync": true,
+	"Close": true, "Truncate": true, "Rename": true, "Remove": true,
+	"RemoveAll": true, "Mkdir": true, "MkdirAll": true, "WriteFile": true,
+}
+
+// seamMethodNames are the cross-package durability seams of rule 2.
+var seamMethodNames = map[string]bool{"Snapshot": true, "Export": true, "Import": true}
+
+func runWALErrCheck(pass *Pass) {
+	inStateStore := pkgPathHasSuffix(pass.Pkg.PkgPath, "internal/statestore")
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, guarded := guardedCall(pass, call, inStateStore); guarded {
+						pass.Reportf(n.Pos(), "error result of %s discarded; a dropped durability error means acknowledged-but-lost state — handle it or annotate a best-effort site with //pplint:allow walerrcheck", name)
+					}
+				}
+			case *ast.DeferStmt:
+				if name, guarded := guardedCall(pass, n.Call, inStateStore); guarded {
+					pass.Reportf(n.Pos(), "deferred %s discards its error; capture it (e.g. into a named return) or handle it inline", name)
+				}
+			case *ast.GoStmt:
+				if name, guarded := guardedCall(pass, n.Call, inStateStore); guarded {
+					pass.Reportf(n.Pos(), "go %s discards its error; collect it through a channel or errgroup-style wait", name)
+				}
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, n, inStateStore)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErrAssign flags `_ = guarded()` and `v, _ := guarded()`
+// where the blank identifier sits at the error result position.
+func checkBlankErrAssign(pass *Pass, n *ast.AssignStmt, inStateStore bool) {
+	if len(n.Rhs) != 1 {
+		return
+	}
+	call, ok := n.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, guarded := guardedCall(pass, call, inStateStore)
+	if !guarded {
+		return
+	}
+	// The error is the callee's last result; with the 1:1 tuple
+	// assignment form the last LHS receives it.
+	last := n.Lhs[len(n.Lhs)-1]
+	if ident, ok := last.(*ast.Ident); ok && ident.Name == "_" {
+		pass.Reportf(n.Pos(), "error result of %s assigned to _; handle it or annotate a reviewed discard with //pplint:allow walerrcheck", name)
+	}
+}
+
+// guardedCall reports whether the call's error result is protected by
+// the durability rules, returning a printable callee name.
+func guardedCall(pass *Pass, call *ast.CallExpr, inStateStore bool) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return "", false
+	}
+	name := types.ExprString(call.Fun)
+	switch {
+	case pkgPathHasSuffix(fn.Pkg().Path(), "internal/statestore"):
+		return name, true
+	case sig.Recv() != nil && seamMethodNames[fn.Name()]:
+		return name, true
+	case inStateStore && fn.Pkg().Path() == "os" && osDurabilityFuncs[fn.Name()]:
+		return name, true
+	}
+	return "", false
+}

@@ -1,0 +1,14 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine: router
+// fan-out workers and reshard transfers must all be drained once the
+// owning node shuts down.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -132,7 +132,7 @@ func (r *Router) importEntries(url string, entries []server.TransferEntry) error
 // owner while the old one kept stale copies. Returns the number of moved
 // states (rehomed + live transfers). dead is the dead replica's base URL;
 // the directory must no longer be appended to.
-func (r *Router) RecoverFromDir(dir, dead string, newReplicas []string) (int, error) {
+func (r *Router) RecoverFromDir(dir, dead string, newReplicas []string) (moved int, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, u := range newReplicas {
@@ -144,7 +144,6 @@ func (r *Router) RecoverFromDir(dir, dead string, newReplicas []string) (int, er
 	if err != nil {
 		return 0, err
 	}
-	moved := 0
 
 	// Live-to-live moves first: arcs the new ring takes from a *survivor*
 	// drain through the normal protocol. Moves whose source is the dead
@@ -177,7 +176,15 @@ func (r *Router) RecoverFromDir(dir, dead string, newReplicas []string) (int, er
 	if err != nil {
 		return moved, fmt.Errorf("cluster: opening dead replica's store: %w", err)
 	}
-	defer ss.Close()
+	// A close failure on the dead replica's store is surfaced (unless a
+	// more specific error already is): it can mean the recovery source
+	// directory is unhealthy, which the operator should know about even
+	// though the exported entries have already landed on their new owners.
+	defer func() {
+		if cerr := ss.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("cluster: closing dead replica's store: %w", cerr)
+		}
+	}()
 	perDst := map[string][]server.TransferEntry{}
 	err = ss.Export(func(string) bool { return true }, func(key string, stored []byte) error {
 		dst := newRing.OwnerOfKey(key)

@@ -100,7 +100,9 @@ func New(opts Options) (*Router, error) {
 			Transport: &http.Transport{MaxIdleConnsPerHost: 64},
 		}
 	}
-	r := &Router{opts: opts, client: client, ring: ring, start: time.Now()}
+	// Wall-clock seam: start only feeds the /statz uptime gauge, never a
+	// routing or replay decision.
+	r := &Router{opts: opts, client: client, ring: ring, start: time.Now()} //pplint:allow virtualclock
 	r.mux = http.NewServeMux()
 	r.mux.HandleFunc("/event", r.handleEvent)
 	r.mux.HandleFunc("/predict", r.handlePredict)
@@ -226,7 +228,10 @@ func (r *Router) handleEvent(w http.ResponseWriter, req *http.Request) {
 	worst := http.StatusAccepted
 	var ferr error
 	for range groups {
-		res := <-results
+		// Collecting under r.mu.RLock is the drain mechanism: reshard
+		// takes the write lock, so it cannot swap the ring while a POST
+		// split by the old ring is still landing on replicas.
+		res := <-results //pplint:allow lockcheck
 		switch {
 		case res.err != nil:
 			worst, ferr = http.StatusBadGateway, res.err
@@ -273,7 +278,10 @@ func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 
 	r.mu.RLock()
 	owner := r.ring.OwnerOfUser(in.User)
-	resp, err := r.client.Post(owner+"/predict", "application/json", bytes.NewReader(body))
+	// Forwarding under r.mu.RLock is deliberate: a reshard (write lock)
+	// must not rehome this user while the predict is in flight on the
+	// replica the old ring chose.
+	resp, err := r.client.Post(owner+"/predict", "application/json", bytes.NewReader(body)) //pplint:allow lockcheck
 	r.mu.RUnlock()
 	if err != nil {
 		writeErr(w, http.StatusBadGateway, "forwarding predict: "+err.Error())
@@ -434,7 +442,7 @@ func (r *Router) handleStatz(w http.ResponseWriter, req *http.Request) {
 	r.mu.RUnlock()
 	var mu sync.Mutex
 	out := Statz{Reshards: reshards, Moved: moved}
-	out.UptimeSec = time.Since(r.start).Seconds()
+	out.UptimeSec = time.Since(r.start).Seconds() //pplint:allow virtualclock (uptime gauge only)
 	err := eachReplica(urls, func(u string) error {
 		st, err := server.FetchStatz(u, r.client)
 		if err != nil {

@@ -56,7 +56,13 @@ func (l *Lab) Lifecycle() *Report {
 		if err != nil {
 			panic("experiments: " + err.Error())
 		}
-		defer store.Close()
+		// A close error means the WAL tail may not have synced; the
+		// lifecycle numbers would then describe state a crash could lose.
+		defer func() {
+			if cerr := store.Close(); cerr != nil {
+				panic("experiments: closing lifecycle store: " + cerr.Error())
+			}
+		}()
 		proc := serving.NewStreamProcessor(model, store)
 		svc := serving.NewPredictionService(model, store, thr)
 		var tp, fp, fn int

@@ -1,0 +1,131 @@
+// Package leakcheck is a stdlib-only goroutine-leak detector for
+// TestMain. The server and cluster packages spawn goroutines on every
+// code path the shutdown work in PR-4/PR-5 hardened — HTTP serving
+// loops, micro-batcher drains, reshard transfer workers — so their
+// test mains wrap m.Run with Main: it snapshots the goroutine set
+// before the tests, lets everything the tests started settle, and
+// fails the package with a stack-trace diff if a goroutine outlives
+// the run. A leak here is a real bug: it means Shutdown/Close left a
+// worker behind, exactly the class of hang the drain-and-handoff
+// protocol exists to prevent.
+package leakcheck
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settleTimeout bounds how long Main waits for test-started goroutines
+// to exit after m.Run returns. Shutdown paths in this repo are bounded
+// by much shorter deadlines, so anything still alive after this is
+// leaked, not slow.
+const settleTimeout = 5 * time.Second
+
+// Main runs the package's tests, then fails the binary (exit 1) if any
+// goroutine started during the run is still alive once the settle
+// window expires. Use from TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+func Main(m *testing.M) {
+	os.Exit(run(m))
+}
+
+func run(m *testing.M) int {
+	baseline := snapshot()
+	code := m.Run()
+	if code != 0 {
+		// The tests already failed; a leak report would bury the real
+		// failure.
+		return code
+	}
+	deadline := time.Now().Add(settleTimeout)
+	for {
+		// Keep-alive connections from test HTTP clients park a
+		// readLoop/writeLoop pair per idle conn; they are cleanup work,
+		// not leaks.
+		if t, ok := http.DefaultTransport.(*http.Transport); ok {
+			t.CloseIdleConnections()
+		}
+		leaked := diff(snapshot(), baseline)
+		if len(leaked) == 0 {
+			return code
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) still running %v after the tests finished:\n\n%s\n",
+				len(leaked), settleTimeout, strings.Join(leaked, "\n\n"))
+			return 1
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// snapshot captures the stack of every user goroutine, split into one
+// string per goroutine.
+func snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return strings.Split(strings.TrimSpace(string(buf[:n])), "\n\n")
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// diff returns the goroutines in now that were not present at baseline
+// and are not on the ignore list. Goroutines are matched by stack body
+// (the frames below the "goroutine N [state]:" header), as a multiset:
+// two identical workers at baseline cover two identical workers now.
+func diff(now, baseline []string) []string {
+	base := make(map[string]int)
+	for _, g := range baseline {
+		base[body(g)]++
+	}
+	var leaked []string
+	for _, g := range now {
+		b := body(g)
+		if base[b] > 0 {
+			base[b]--
+			continue
+		}
+		if ignored(b) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// body strips the "goroutine N [state]:" header so that matching is
+// insensitive to goroutine IDs and wait states.
+func body(g string) string {
+	if i := strings.Index(g, "\n"); i >= 0 {
+		return g[i+1:]
+	}
+	return g
+}
+
+// ignored filters goroutines that legitimately differ between the two
+// snapshots: this package's own caller (its line numbers move between
+// the before and after snapshot), the testing harness, and runtime
+// plumbing that starts lazily on first use.
+func ignored(body string) bool {
+	for _, sub := range []string{
+		"internal/leakcheck.snapshot",
+		"testing.(*M).",
+		"testing.runTests",
+		"os/signal.",
+		"runtime.ensureSigM",
+		"runtime.ReadTrace",
+	} {
+		if strings.Contains(body, sub) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDetectsDeliberateLeak parks a goroutine on a channel, confirms
+// diff reports it against a pre-leak baseline, then releases it and
+// confirms the report drains.
+func TestDetectsDeliberateLeak(t *testing.T) {
+	baseline := snapshot()
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+
+	leaked := diff(snapshot(), baseline)
+	if len(leaked) == 0 {
+		t.Fatal("deliberately parked goroutine not reported")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "TestDetectsDeliberateLeak") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leak report does not name the leaking test:\n%s", strings.Join(leaked, "\n\n"))
+	}
+
+	close(stop)
+	deadline := time.Now().Add(settleTimeout)
+	for {
+		if leaked := diff(snapshot(), baseline); len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("released goroutine still reported after %v", settleTimeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBodyStripsHeader(t *testing.T) {
+	g := "goroutine 7 [chan receive]:\nmain.worker()\n\t/src/main.go:10 +0x20"
+	want := "main.worker()\n\t/src/main.go:10 +0x20"
+	if got := body(g); got != want {
+		t.Errorf("body = %q, want %q", got, want)
+	}
+	if got := body("headerless"); got != "headerless" {
+		t.Errorf("body without newline = %q", got)
+	}
+}
+
+// TestDiffMatchesAsMultiset pins that N identical baseline workers
+// cover exactly N identical current workers — the N+1th is a leak.
+func TestDiffMatchesAsMultiset(t *testing.T) {
+	worker := "goroutine %d [select]:\nmain.pool()\n\t/src/pool.go:5 +0x10"
+	baseline := []string{
+		"goroutine 1 [running]:\nmain.main()\n\t/src/main.go:1 +0x1",
+		strings.Replace(worker, "%d", "2", 1),
+		strings.Replace(worker, "%d", "3", 1),
+	}
+	now := append([]string(nil), baseline...)
+	if leaked := diff(now, baseline); len(leaked) != 0 {
+		t.Fatalf("identical snapshots reported leaks: %v", leaked)
+	}
+	now = append(now, strings.Replace(worker, "%d", "9", 1))
+	leaked := diff(now, baseline)
+	if len(leaked) != 1 || !strings.Contains(leaked[0], "goroutine 9") {
+		t.Fatalf("extra worker not reported exactly once: %v", leaked)
+	}
+}
+
+func TestIgnoredFiltersHarness(t *testing.T) {
+	if !ignored("repro/internal/leakcheck.snapshot()\n\t/src/leakcheck.go:70") {
+		t.Error("own frames must be ignored")
+	}
+	if ignored("repro/internal/leakcheck.TestDetectsDeliberateLeak.func1()\n\t/src/leakcheck_test.go:17") {
+		t.Error("goroutines merely declared in this package must not be ignored")
+	}
+	if !ignored("testing.(*M).Run()\n\t/go/testing.go:1") {
+		t.Error("testing harness must be ignored")
+	}
+	if ignored("repro/internal/server.(*Server).loop()\n\t/src/server.go:1") {
+		t.Error("server goroutines must not be ignored")
+	}
+}

@@ -1,0 +1,14 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine: every
+// serving loop, micro-batcher and drain worker started by these tests
+// must be gone once Shutdown returns.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

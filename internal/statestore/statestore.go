@@ -142,7 +142,9 @@ func Open(opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	os.Remove(fmt.Sprintf("%s/%s", opts.Dir, snapTmpName)) // abandoned mid-snapshot tmp
+	// Best-effort: a leftover tmp is never read, and writeSnapshot
+	// recreates it with O_TRUNC, so a failed remove cannot corrupt state.
+	os.Remove(fmt.Sprintf("%s/%s", opts.Dir, snapTmpName)) //pplint:allow walerrcheck (abandoned mid-snapshot tmp)
 	apply := func(op byte, key string, val []byte) {
 		switch op {
 		case opDelete:

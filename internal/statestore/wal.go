@@ -129,7 +129,7 @@ func openWAL(dir string) (*wal, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		f.Close() //pplint:allow walerrcheck (cleanup on an already-failing open; the Stat error is returned)
 		return nil, err
 	}
 	w := &wal{dir: dir, f: f, size: st.Size()}
@@ -221,7 +221,7 @@ func (w *wal) retireOld() error {
 
 func (w *wal) close() error {
 	if err := w.f.Sync(); err != nil {
-		w.f.Close()
+		w.f.Close() //pplint:allow walerrcheck (the Sync error dominates; the close is cleanup)
 		return err
 	}
 	return w.f.Close()
@@ -284,8 +284,8 @@ func writeSnapshot(dir string, clock int64, scan func(emit func(key string, val 
 	binary.LittleEndian.PutUint64(ts[:], uint64(clock))
 	buf = appendRecord(buf, opClock, "", ts[:])
 	if _, err := bw.Write(buf); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		f.Close()      //pplint:allow walerrcheck (cleanup: the write error is returned)
+		os.Remove(tmp) //pplint:allow walerrcheck (cleanup: the tmp is recreated with O_TRUNC next attempt)
 		return err
 	}
 	err = scan(func(key string, val []byte) error {
@@ -303,7 +303,7 @@ func writeSnapshot(dir string, clock int64, scan func(emit func(key string, val 
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //pplint:allow walerrcheck (cleanup: the flush/sync/close error is returned)
 		return err
 	}
 	return os.Rename(tmp, filepath.Join(dir, snapName))

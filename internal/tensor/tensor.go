@@ -417,6 +417,16 @@ func (m *Matrix) checkShape(op string, other *Matrix) {
 
 func checkLen(op string, want, got int) {
 	if want != got {
-		panic(fmt.Sprintf("tensor: %s: length mismatch: want %d, got %d", op, want, got))
+		lenPanic(op, want, got)
 	}
+}
+
+// lenPanic is kept out of line so that inlining checkLen into the
+// MulVec*/GEMM hot paths does not drag the Sprintf interface
+// conversions (and their heap escapes) into functions pinned by the
+// ppescape gate. The fast path of checkLen is a compare and a branch.
+//
+//go:noinline
+func lenPanic(op string, want, got int) {
+	panic(fmt.Sprintf("tensor: %s: length mismatch: want %d, got %d", op, want, got))
 }
