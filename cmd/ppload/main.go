@@ -49,6 +49,8 @@ func main() {
 		requireClean  = flag.Bool("require-clean", false, "exit nonzero if any request was shed (429) or errored")
 		waitHealthy   = flag.Duration("wait-healthy", 15*time.Second, "wait this long for /healthz before starting")
 		out           = flag.String("out", "", "write the machine-readable load report to this JSON path")
+		userLo        = flag.Int("user-lo", -1, "replay only users with ID >= this (-1 = no lower bound); phased replays over disjoint ranges compose because the digest is additive over users")
+		userHi        = flag.Int("user-hi", -1, "replay only users with ID <= this (-1 = no upper bound)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,18 @@ func main() {
 	} else {
 		log = server.ReplayLog(*users, *seed)
 		fmt.Printf("replaying regenerated cohort (users=%d seed=%d): %d sessions\n", *users, *seed, len(log))
+	}
+
+	if *userLo >= 0 || *userHi >= 0 {
+		filtered := log[:0]
+		for _, ev := range log {
+			if (*userLo >= 0 && ev.User < *userLo) || (*userHi >= 0 && ev.User > *userHi) {
+				continue
+			}
+			filtered = append(filtered, ev)
+		}
+		log = filtered
+		fmt.Printf("user range [%d, %d]: %d sessions kept\n", *userLo, *userHi, len(log))
 	}
 
 	if err := server.WaitHealthy(*addr, *waitHealthy); err != nil {

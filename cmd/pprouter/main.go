@@ -41,34 +41,66 @@ func main() {
 		replicas    = flag.String("replicas", "", "comma-separated replica base URLs (required)")
 		vnodes      = flag.Int("vnodes", 0, "virtual nodes per replica (0 = default)")
 		waitHealthy = flag.Duration("wait-healthy", 60*time.Second, "wait this long for every replica's /healthz before serving (0 = don't wait)")
+		followers   = flag.String("followers", "", "comma-separated primary=follower base-URL pairs for failover")
+		spares      = flag.String("spares", "", "comma-separated standby follower base URLs for re-replication after a failover")
+		probeIval   = flag.Duration("probe-interval", 0, "health-probe period; > 0 enables the prober and automatic failover")
+		probeTO     = flag.Duration("probe-timeout", time.Second, "per-probe HTTP timeout")
+		probeFails  = flag.Int("probe-fails", 3, "consecutive probe failures before a replica is declared dead")
 	)
 	flag.Parse()
 
-	var urls []string
-	for _, u := range strings.Split(*replicas, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, strings.TrimRight(u, "/"))
+	splitURLs := func(s string) []string {
+		var out []string
+		for _, u := range strings.Split(s, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				out = append(out, strings.TrimRight(u, "/"))
+			}
 		}
+		return out
 	}
+	urls := splitURLs(*replicas)
 	if len(urls) == 0 || *vnodes < 0 {
 		fmt.Fprintln(os.Stderr, "pprouter: -replicas must list at least one URL and -vnodes must be >= 0")
 		os.Exit(2)
 	}
+	followerOf := map[string]string{}
+	for _, pair := range splitURLs(*followers) {
+		primary, follower, ok := strings.Cut(pair, "=")
+		if !ok || primary == "" || follower == "" {
+			fmt.Fprintf(os.Stderr, "pprouter: -followers entry %q is not primary=follower\n", pair)
+			os.Exit(2)
+		}
+		followerOf[strings.TrimRight(primary, "/")] = strings.TrimRight(follower, "/")
+	}
 
-	router, err := cluster.New(cluster.Options{Replicas: urls, VNodes: *vnodes})
+	router, err := cluster.New(cluster.Options{
+		Replicas:      urls,
+		VNodes:        *vnodes,
+		Followers:     followerOf,
+		Spares:        splitURLs(*spares),
+		ProbeInterval: *probeIval,
+		ProbeTimeout:  *probeTO,
+		ProbeFails:    *probeFails,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pprouter: %v\n", err)
 		os.Exit(2)
 	}
 
 	if *waitHealthy > 0 {
-		for _, u := range urls {
+		wait := append([]string(nil), urls...)
+		for _, f := range followerOf {
+			wait = append(wait, f)
+		}
+		wait = append(wait, splitURLs(*spares)...)
+		for _, u := range wait {
 			if err := server.WaitHealthy(u, *waitHealthy); err != nil {
 				fmt.Fprintf(os.Stderr, "pprouter: replica %s: %v\n", u, err)
 				os.Exit(1)
 			}
 		}
 	}
+	router.StartProber()
 
 	srv := &http.Server{Addr: *listen, Handler: router}
 	done := make(chan struct{})
@@ -83,11 +115,19 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "pprouter: shutdown: %v\n", err)
 		}
+		router.StopProber()
 	}()
 
 	fmt.Printf("routing %d replicas on %s (vnodes=%d)\n", len(urls), *listen, router.Ring().VNodes())
 	for i, u := range urls {
-		fmt.Printf("  replica %d: %s\n", i, u)
+		if f := followerOf[u]; f != "" {
+			fmt.Printf("  replica %d: %s (follower %s)\n", i, u, f)
+		} else {
+			fmt.Printf("  replica %d: %s\n", i, u)
+		}
+	}
+	if *probeIval > 0 {
+		fmt.Printf("  probing every %s (timeout %s, dead after %d fails)\n", *probeIval, *probeTO, *probeFails)
 	}
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "pprouter: %v\n", err)

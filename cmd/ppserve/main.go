@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/replication"
 	"repro/internal/server"
 	"repro/internal/serving"
 	"repro/internal/statestore"
@@ -63,6 +64,8 @@ type flagSet struct {
 	serve                   string
 	maxBatch, laneDepth     int
 	maxWait                 time.Duration
+	replicaOf               string
+	follow                  bool
 	cpuprofile, memprofile  string
 	// set records which flags were explicitly passed (flag.Visit), so
 	// validation can reject mode-mismatched flags without guessing from
@@ -127,11 +130,17 @@ func (f flagSet) validate() error {
 			add("-batch is a replay-mode flag; server-mode predict batching uses -max-batch")
 		}
 	} else {
-		for _, name := range []string{"max-batch", "max-wait", "lane-depth"} {
+		for _, name := range []string{"max-batch", "max-wait", "lane-depth", "replica-of", "follow"} {
 			if f.set[name] {
 				add("-" + name + " is a server-mode flag; it has no effect without -serve")
 			}
 		}
+	}
+	if f.replicaOf != "" && f.follow {
+		add("-replica-of already implies follower mode; drop -follow")
+	}
+	if (f.replicaOf != "" || f.follow) && f.persist == "" {
+		add("follower mode requires -persist (replication applies through the durable statestore)")
 	}
 	if f.maxBatch < 1 {
 		add("-max-batch must be >= 1")
@@ -165,6 +174,8 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 32, "server micro-batch flush size (finalise and predict)")
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "server micro-batch flush deadline (0 = greedy flush, no waiting)")
 		laneDepth = flag.Int("lane-depth", 256, "server per-lane finalisation queue bound (full queues shed events with 429)")
+		replicaOf = flag.String("replica-of", "", "follow this primary's base URL, replicating its states (requires -serve and -persist)")
+		follow    = flag.Bool("follow", false, "start as a standby follower with no primary yet; POST /replicate/follow assigns one (requires -serve and -persist)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 		memprofile = flag.String("memprofile", "", "write a post-replay heap profile to this file")
@@ -184,6 +195,7 @@ func main() {
 		threshold:  *threshold, restartAfter: *restartAfter,
 		persist: *persist, evictAfter: *evictAfter, memBudget: *memBudget,
 		serve: *serveAddr, maxBatch: *maxBatch, maxWait: *maxWait, laneDepth: *laneDepth,
+		replicaOf: *replicaOf, follow: *follow,
 		cpuprofile: *cpuprofile, memprofile: *memprofile,
 		set: map[string]bool{},
 	}
@@ -243,6 +255,8 @@ func main() {
 			laneDepth: *laneDepth,
 			shards:    *shards,
 			digest:    *digest,
+			replicaOf: *replicaOf,
+			follow:    *follow,
 		})
 		return
 	}
@@ -499,8 +513,8 @@ func main() {
 		float64(acc.Gets)/float64(accPred))
 	if cur.ss != nil {
 		ls := cur.ss.Lifecycle()
-		fmt.Printf("lifecycle: %d idle + %d budget evictions, %d snapshots, %d WAL records (%dB)\n",
-			ls.IdleEvictions, ls.BudgetEvictions, ls.Snapshots, ls.WALRecords, ls.WALBytes)
+		fmt.Printf("lifecycle: %d idle + %d budget evictions, %d snapshots, %d WAL records (%dB), wal-seq %d (snap-seq %d)\n",
+			ls.IdleEvictions, ls.BudgetEvictions, ls.Snapshots, ls.WALRecords, ls.WALBytes, ls.WALSeq, ls.SnapSeq)
 		if err := cur.ss.Close(); err != nil {
 			fmt.Printf("ppserve: statestore error: %v\n", err)
 		}
@@ -513,6 +527,8 @@ type serverConfig struct {
 	maxWait                    time.Duration
 	shards                     int
 	digest                     bool
+	replicaOf                  string
+	follow                     bool
 }
 
 // runServer builds the store, starts the HTTP tier, and shuts down
@@ -541,16 +557,29 @@ func runServer(addr string, model *core.Model, thr float64, lifecycle bool, ssOp
 	if wait == 0 {
 		wait = -1 // ppserve's 0 means "greedy flush"; Options' 0 is the default
 	}
+	var fol *replication.Follower
+	if cfg.replicaOf != "" || cfg.follow {
+		fol = replication.NewFollower(ss, cfg.replicaOf)
+	}
 	srv := server.New(server.Options{
 		Model:     model,
 		Store:     store,
 		State:     ss,
 		Threshold: thr,
+		Follower:  fol,
 		Lanes:     cfg.lanes,
 		MaxBatch:  cfg.maxBatch,
 		MaxWait:   wait,
 		LaneDepth: cfg.laneDepth,
 	})
+	if fol != nil {
+		fol.Start()
+		if cfg.replicaOf != "" {
+			fmt.Printf("follower: replicating %s\n", cfg.replicaOf)
+		} else {
+			fmt.Println("follower: standby (waiting for /replicate/follow)")
+		}
+	}
 
 	done := make(chan struct{})
 	sigCh := make(chan os.Signal, 1)
@@ -585,8 +614,8 @@ func runServer(addr string, model *core.Model, thr float64, lifecycle bool, ssOp
 	}
 	if ss != nil {
 		ls := ss.Lifecycle()
-		fmt.Printf("lifecycle: %d snapshots, %d WAL records (%dB)\n",
-			ls.Snapshots, ls.WALRecords, ls.WALBytes)
+		fmt.Printf("lifecycle: %d snapshots, %d WAL records (%dB), wal-seq %d (snap-seq %d)\n",
+			ls.Snapshots, ls.WALRecords, ls.WALBytes, ls.WALSeq, ls.SnapSeq)
 		if err := ss.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "ppserve: statestore error: %v\n", err)
 		}

@@ -20,6 +20,7 @@ var clockRestrictedPkgs = []string{
 	"internal/nn",
 	"internal/tensor",
 	"internal/cluster",
+	"internal/replication",
 }
 
 // clockFuncs are the forbidden time-package reads.

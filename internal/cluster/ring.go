@@ -26,8 +26,13 @@ import (
 // defined.
 type Ring struct {
 	replicas []string
-	vnodes   int
-	points   []ringPoint // sorted by pos, ties broken by replica index
+	// ids are the vnode identities the points were projected from. They
+	// equal replicas at construction; ReplaceReplica swaps a replica's URL
+	// while keeping its identity, so a promoted follower inherits the dead
+	// primary's arcs exactly — zero arcs move between survivors.
+	ids    []string
+	vnodes int
+	points []ringPoint // sorted by pos, ties broken by replica index
 }
 
 type ringPoint struct {
@@ -60,10 +65,11 @@ func NewRing(replicas []string, vnodes int) (*Ring, error) {
 	}
 	r := &Ring{
 		replicas: append([]string(nil), replicas...),
+		ids:      append([]string(nil), replicas...),
 		vnodes:   vnodes,
 		points:   make([]ringPoint, 0, len(replicas)*vnodes),
 	}
-	for i, u := range r.replicas {
+	for i, u := range r.ids {
 		for v := 0; v < vnodes; v++ {
 			r.points = append(r.points, ringPoint{pos: vnodeHash(u, v), replica: i})
 		}
@@ -91,6 +97,39 @@ func vnodeHash(url string, v int) uint32 {
 
 // Replicas returns the ring's replica base URLs (copy).
 func (r *Ring) Replicas() []string { return append([]string(nil), r.replicas...) }
+
+// ReplaceReplica returns a ring that addresses oldURL's arcs at newURL
+// instead. The replacement inherits oldURL's vnode identity — the points
+// it projected stay where they are — so ownership is bit-identical and a
+// failover promotion moves zero arcs between survivors. (A later explicit
+// reshard naming newURL re-projects it under its own identity; until
+// then, two rings sharing the replaced slot agree on its points because
+// identities, not URLs, define them.)
+func (r *Ring) ReplaceReplica(oldURL, newURL string) (*Ring, error) {
+	if newURL == "" {
+		return nil, fmt.Errorf("cluster: empty replacement URL")
+	}
+	at := -1
+	for i, u := range r.replicas {
+		if u == newURL {
+			return nil, fmt.Errorf("cluster: replacement %s already in the ring", newURL)
+		}
+		if u == oldURL {
+			at = i
+		}
+	}
+	if at < 0 {
+		return nil, fmt.Errorf("cluster: replica %s not in the ring", oldURL)
+	}
+	next := &Ring{
+		replicas: append([]string(nil), r.replicas...),
+		ids:      r.ids,
+		vnodes:   r.vnodes,
+		points:   r.points, // immutable; identity-keyed, so still valid
+	}
+	next.replicas[at] = newURL
+	return next, nil
+}
 
 // VNodes returns the per-replica virtual-node count.
 func (r *Ring) VNodes() int { return r.vnodes }

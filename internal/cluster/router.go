@@ -49,6 +49,22 @@ type Options struct {
 	// ImportChunk bounds entries per /import POST during a handoff (<=0
 	// selects 512), keeping transfer bodies under the replicas' body cap.
 	ImportChunk int
+
+	// Followers maps a ring replica's URL to the follower replicating it
+	// (ppserve -replica-of). When the replica dies, Failover promotes the
+	// follower into its arcs.
+	Followers map[string]string
+	// Spares are standby followers (ppserve -follow) available for
+	// re-replication after a failover consumes a follower.
+	Spares []string
+	// ProbeInterval enables the health prober: every interval, each known
+	// node is probed; ProbeFails consecutive failures (<=0 selects 3)
+	// declare a ring replica dead and trigger its failover. 0 disables
+	// the prober (then /healthz probes synchronously on demand).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (<=0 selects 1s).
+	ProbeTimeout time.Duration
+	ProbeFails   int
 }
 
 // Router implements http.Handler for the cluster API.
@@ -56,11 +72,27 @@ type Router struct {
 	opts   Options
 	client *http.Client
 
-	// mu orders traffic against resharding: handlers forward under RLock,
-	// Reshard/RecoverFromDir hold the write lock across drain, transfer and
-	// ring cutover. The ring pointer only changes under the write lock.
-	mu   sync.RWMutex
-	ring *Ring
+	// mu orders traffic against resharding and failover: handlers forward
+	// under RLock, Reshard/RecoverFromDir/Failover hold the write lock
+	// across drain, transfer and ring cutover. The ring pointer (and the
+	// follower/spare topology) only change under the write lock.
+	mu        sync.RWMutex
+	ring      *Ring
+	followers map[string]string
+	spares    []string
+	failovers int
+
+	// Health tracker (health.go): per-node probe state under healthMu,
+	// which is a leaf below mu.
+	probeClient     *http.Client
+	healthMu        sync.Mutex
+	health          map[string]*healthState
+	lastFailoverErr string
+	proberOnce      sync.Once
+	proberStop      sync.Once
+	proberStopCh    chan struct{}
+	proberWG        sync.WaitGroup
+	rereplicateWG   sync.WaitGroup
 
 	start    time.Time
 	reshards int
@@ -79,9 +111,10 @@ type ReplicaStatz struct {
 // ppload decode it unchanged — plus the per-replica breakdown.
 type Statz struct {
 	server.Statz
-	Replicas []ReplicaStatz `json:"replicas"`
-	Reshards int            `json:"reshards"`
-	Moved    int            `json:"moved_states"`
+	Replicas  []ReplicaStatz `json:"replicas"`
+	Reshards  int            `json:"reshards"`
+	Moved     int            `json:"moved_states"`
+	Failovers int            `json:"failovers"`
 }
 
 // New builds a router over the given replicas.
@@ -100,9 +133,21 @@ func New(opts Options) (*Router, error) {
 			Transport: &http.Transport{MaxIdleConnsPerHost: 64},
 		}
 	}
+	probeTimeout := opts.ProbeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = time.Second
+	}
 	// Wall-clock seam: start only feeds the /statz uptime gauge, never a
 	// routing or replay decision.
 	r := &Router{opts: opts, client: client, ring: ring, start: time.Now()} //pplint:allow virtualclock
+	r.followers = make(map[string]string, len(opts.Followers))
+	for primary, follower := range opts.Followers {
+		r.followers[primary] = follower
+	}
+	r.spares = append([]string(nil), opts.Spares...)
+	r.probeClient = &http.Client{Timeout: probeTimeout}
+	r.health = make(map[string]*healthState)
+	r.proberStopCh = make(chan struct{})
 	r.mux = http.NewServeMux()
 	r.mux.HandleFunc("/event", r.handleEvent)
 	r.mux.HandleFunc("/predict", r.handlePredict)
@@ -410,27 +455,31 @@ func (r *Router) handleDigest(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"keys": keys, "digest": combined})
 }
 
+// handleHealthz aggregates per-node probe results: 200 with the breakdown
+// while every arc has a healthy owner, 503 with the same breakdown once
+// any ring replica is past the failure threshold. Without a running
+// prober (ProbeInterval 0) it runs one synchronous probe round first, so
+// the answer is always grounded in a real probe.
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
-	r.mu.RLock()
-	urls := r.ring.Replicas()
-	r.mu.RUnlock()
-	err := eachReplica(urls, func(u string) error {
-		resp, err := r.client.Get(u + "/healthz")
-		if err != nil {
-			return fmt.Errorf("%s: %w", u, err)
-		}
-		defer resp.Body.Close()
-		io.Copy(io.Discard, resp.Body)
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("%s: healthz HTTP %d", u, resp.StatusCode)
-		}
-		return nil
-	})
-	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err.Error())
-		return
+	if r.opts.ProbeInterval <= 0 {
+		r.probeOnce()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "replicas": len(urls)})
+	nodes, degraded := r.healthBreakdown()
+	r.healthMu.Lock()
+	lastErr := r.lastFailoverErr
+	r.healthMu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if degraded {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":            status,
+		"replicas":          nodes,
+		"failovers":         r.Failovers(),
+		"last_failover_err": lastErr,
+	})
 }
 
 // handleStatz sums the replicas' counters into one single-replica-shaped
@@ -438,10 +487,10 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 func (r *Router) handleStatz(w http.ResponseWriter, req *http.Request) {
 	r.mu.RLock()
 	urls := r.ring.Replicas()
-	reshards, moved := r.reshards, r.moved
+	reshards, moved, failovers := r.reshards, r.moved, r.failovers
 	r.mu.RUnlock()
 	var mu sync.Mutex
-	out := Statz{Reshards: reshards, Moved: moved}
+	out := Statz{Reshards: reshards, Moved: moved, Failovers: failovers}
 	out.UptimeSec = time.Since(r.start).Seconds() //pplint:allow virtualclock (uptime gauge only)
 	err := eachReplica(urls, func(u string) error {
 		st, err := server.FetchStatz(u, r.client)
@@ -469,6 +518,14 @@ func (r *Router) handleStatz(w http.ResponseWriter, req *http.Request) {
 		out.Store.BytesRead += st.Store.BytesRead
 		out.Store.BytesPut += st.Store.BytesPut
 		out.Store.BytesStored += st.Store.BytesStored
+		// Sequence numbers are per-replica positions, not volumes: the
+		// aggregate carries the maximum (the breakdown has the rest).
+		if st.Store.WALSeq > out.Store.WALSeq {
+			out.Store.WALSeq = st.Store.WALSeq
+		}
+		if st.Store.SnapSeq > out.Store.SnapSeq {
+			out.Store.SnapSeq = st.Store.SnapSeq
+		}
 		return nil
 	})
 	if err != nil {

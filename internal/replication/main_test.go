@@ -1,0 +1,14 @@
+package replication_test
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine: every source
+// session, ack reader and follower loop must be gone once the stores shut
+// down.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

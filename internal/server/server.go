@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/replication"
 	"repro/internal/serving"
 	"repro/internal/statestore"
 )
@@ -93,6 +94,11 @@ type Options struct {
 	State *statestore.Store
 	// Threshold is the precompute decision boundary.
 	Threshold float64
+	// Follower, when non-nil, is the replication client applying a
+	// primary's records into State. The server exposes its admin half
+	// (/replicate/follow, /replicate/promote) and stops it on Shutdown;
+	// the caller starts it.
+	Follower *replication.Follower
 
 	// Lanes is the number of finalisation shards — bounded queues, each
 	// drained by one flusher goroutine (<=0 selects GOMAXPROCS). A user
@@ -160,6 +166,10 @@ type Server struct {
 	updatesRun   atomic.Int64
 	batches      atomic.Int64
 
+	// source streams the statestore's tail to replication subscribers
+	// (nil without a durable store).
+	source *replication.Source
+
 	start time.Time
 	mux   *http.ServeMux
 	// httpMu guards httpSrv: ListenAndServe/Serve register it while
@@ -221,6 +231,13 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/export", s.handleExport)
 	s.mux.HandleFunc("/import", s.handleImport)
 	s.mux.HandleFunc("/drop", s.handleDrop)
+	if opts.State != nil {
+		s.source = replication.NewSource(opts.State)
+	}
+	s.mux.HandleFunc("/replicate/subscribe", s.handleReplicateSubscribe)
+	s.mux.HandleFunc("/replicate/status", s.handleReplicateStatus)
+	s.mux.HandleFunc("/replicate/follow", s.handleReplicateFollow)
+	s.mux.HandleFunc("/replicate/promote", s.handleReplicatePromote)
 	return s
 }
 
@@ -277,6 +294,16 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s.shutdown.Swap(true) {
 		return nil
+	}
+	// Replication first: stop applying remote records (a follower) and
+	// drop subscriber sessions (hijacked conns the http.Server no longer
+	// tracks) before the drain, so nothing mutates the store behind the
+	// final snapshot.
+	if s.opts.Follower != nil {
+		s.opts.Follower.Stop()
+	}
+	if s.source != nil {
+		s.source.Close()
 	}
 	var err error
 	s.httpMu.Lock()

@@ -94,6 +94,12 @@ type Stats struct {
 	BytesRead   int64
 	BytesPut    int64
 	BytesStored int64
+	// WALSeq/SnapSeq are populated only by the durable statestore: the
+	// newest committed tail sequence number and the position of the last
+	// completed snapshot. A follower's applied position lagging its
+	// primary's WALSeq is the replication lag.
+	WALSeq  int64
+	SnapSeq int64
 }
 
 // Stats returns the current counters and resident footprint. BytesStored

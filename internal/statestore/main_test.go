@@ -1,0 +1,14 @@
+package statestore
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine: every store a
+// test opens must be fully quiesced by Close — including tail subscribers
+// parked on a wake channel and the churn/crash tests' worker pools.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -52,6 +52,10 @@ type Options struct {
 	// SweepEvery is how many Puts pass between idle sweeps (<=0 selects
 	// 1024). Budget sweeps are triggered by the budget itself.
 	SweepEvery int
+	// TailBuffer is how many committed records the in-memory tail ring
+	// retains for TailFrom subscribers (<=0 selects 8192). A subscriber
+	// that falls further behind than this must re-bootstrap.
+	TailBuffer int
 }
 
 // entry is one resident state. ref is the CLOCK bit, set on Get and
@@ -101,6 +105,13 @@ type Store struct {
 
 	snapMu sync.Mutex // one snapshot at a time
 
+	// tail is the in-memory subscription ring (tail.go); tailSeq mirrors
+	// its newest assigned sequence number and snapSeq the position of the
+	// last completed snapshot, both atomically readable for Stats.
+	tail    tailBuf
+	tailSeq atomic.Int64
+	snapSeq atomic.Int64
+
 	sweepMu        sync.Mutex // single-flight sweeps
 	putsSinceSweep atomic.Int64
 	clockHand      int      // next shard the budget sweep visits; under sweepMu
@@ -136,6 +147,7 @@ func Open(opts Options) (*Store, error) {
 		s.shards[i].data = make(map[string]*entry)
 	}
 	if opts.Dir == "" {
+		s.tailInit(opts.TailBuffer, 0)
 		return s, nil
 	}
 
@@ -183,6 +195,11 @@ func Open(opts Options) (*Store, error) {
 	for i := range s.shards {
 		s.recovered += len(s.shards[i].data)
 	}
+	// Tail sequence numbering starts after the replay: a subscriber whose
+	// position predates this incarnation falls below the ring's floor and
+	// is forced to re-bootstrap instead of silently skipping recovered
+	// records.
+	s.tailInit(opts.TailBuffer, int64(s.replayedRecords))
 	if s.wal, err = openWAL(opts.Dir); err != nil {
 		return nil, err
 	}
@@ -224,6 +241,7 @@ func (s *Store) compactAtOpen() error {
 	s.wal.size = 0
 	s.recordsSinceSnap = 0
 	s.snapshots.Add(1)
+	s.snapSeq.Store(s.tailSeq.Load())
 	return nil
 }
 
@@ -409,6 +427,9 @@ func (s *Store) Keys() []string {
 // sweeper races a Put). Reports whether a snapshot is due; the caller must
 // run it after releasing the shard lock.
 func (s *Store) logAppend(op byte, key string, val []byte) bool {
+	// Tail before the volatile early-return: subscribers see every commit
+	// whether or not a WAL file backs it.
+	s.tailAppend(op, key, val)
 	if s.opts.Dir == "" {
 		return false
 	}
@@ -432,7 +453,13 @@ func (s *Store) logAppend(op byte, key string, val []byte) bool {
 // logDeleteBatch logs a sweep's evictions for one shard as a single
 // write. Same contract as logAppend (caller holds the shard lock).
 func (s *Store) logDeleteBatch(keys []string) bool {
-	if s.opts.Dir == "" || len(keys) == 0 {
+	if len(keys) == 0 {
+		return false
+	}
+	for _, k := range keys {
+		s.tailAppend(opDelete, k, nil)
+	}
+	if s.opts.Dir == "" {
 		return false
 	}
 	s.walMu.Lock()
@@ -506,6 +533,12 @@ func (s *Store) snapshot() {
 		return
 	}
 	s.snapshots.Add(1)
+	// A snapshot marker in the tail tells followers the primary just
+	// compacted, so they compact in (loose) lockstep instead of letting
+	// their own logs grow unbounded. Its Val carries the snapshot's clock.
+	var clock [8]byte
+	binary.LittleEndian.PutUint64(clock[:], uint64(s.vnow.Load()))
+	s.snapSeq.Store(s.tailAppend(opSnapshot, "", clock[:]))
 }
 
 // Snapshot forces a log compaction now — rotate the WAL, stream the
@@ -638,6 +671,7 @@ func (s *Store) Stats() serving.Stats {
 		Gets: s.gets.Load(), Puts: s.puts.Load(), Misses: s.misses.Load(),
 		BytesRead: s.bytesRead.Load(), BytesPut: s.bytesPut.Load(),
 		BytesStored: s.bytesStored.Load(),
+		WALSeq:      s.tailSeq.Load(), SnapSeq: s.snapSeq.Load(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -662,6 +696,12 @@ type LifecycleStats struct {
 	TornTailBytes   int64
 	// VirtualNow is the newest record timestamp observed.
 	VirtualNow int64
+	// WALSeq is the newest committed tail sequence number; SnapSeq the
+	// position of the last completed snapshot. Their difference is how
+	// much log the next compaction will retire; a follower's applied
+	// position against WALSeq is the replication lag.
+	WALSeq  int64
+	SnapSeq int64
 }
 
 // Lifecycle returns eviction/durability counters.
@@ -674,6 +714,8 @@ func (s *Store) Lifecycle() LifecycleStats {
 		ReplayedRecords: s.replayedRecords,
 		TornTailBytes:   s.tornTailBytes,
 		VirtualNow:      s.vnow.Load(),
+		WALSeq:          s.tailSeq.Load(),
+		SnapSeq:         s.snapSeq.Load(),
 	}
 	s.walMu.Lock()
 	if s.wal != nil {

@@ -1,0 +1,146 @@
+package statestore
+
+import (
+	"errors"
+	"sync"
+)
+
+// Tail subscription seam: every committed mutation — puts, deletes, and
+// snapshot markers — is also appended, under the owning shard's lock, to a
+// bounded in-memory ring of sequence-numbered records. Replication tails
+// this ring (internal/replication), never the WAL file itself: sequence
+// numbers are stable across rotation, records alias the store's immutable
+// stored bytes (zero copies on the hot path), and readers take only the
+// tail's own leaf mutex — never a shard lock, and never across I/O.
+//
+// Sequence numbers start after the recovery replay: a store that reopened
+// with N replayed records hands out seq N+1 first, so any subscriber
+// holding a pre-restart position falls below the buffer's floor and is
+// told to re-bootstrap (ErrTailTruncated) rather than silently missing
+// the recovered state.
+
+// Record kinds surfaced by TailFrom. RecPut/RecDelete/RecClock reuse the
+// WAL's own op bytes; RecSnapshot exists only in the tail stream (the WAL
+// encodes compaction as file rotation, not as a record) and tells a
+// follower the primary just compacted — its Val is the 8-byte
+// little-endian virtual clock the snapshot persisted.
+const (
+	RecPut      = opPut
+	RecDelete   = opDelete
+	RecClock    = opClock
+	RecSnapshot = opSnapshot
+)
+
+const opSnapshot byte = 4
+
+// defaultTailBuffer bounds the ring when Options.TailBuffer is unset.
+const defaultTailBuffer = 8192
+
+// ErrTailTruncated reports that the requested sequence number is no longer
+// (or not yet) buffered; the subscriber must bootstrap from a full state
+// export and then tail from the position the bootstrap names.
+var ErrTailTruncated = errors.New("statestore: tail position truncated; bootstrap required")
+
+// WALRecord is one committed mutation in tail order. Val aliases the
+// store's immutable stored representation for puts (callers may retain but
+// must never mutate it), is nil for deletes, and holds the 8-byte virtual
+// clock for RecClock/RecSnapshot.
+type WALRecord struct {
+	Seq int64
+	Op  byte
+	Key string
+	Val []byte
+}
+
+// tailBuf is the ring. Its mutex is a leaf: tailAppend runs under a shard
+// lock (and, for durable stores, adjacent to walMu), so the tail must
+// never take any other store lock.
+type tailBuf struct {
+	mu    sync.Mutex
+	buf   []WALRecord
+	first int64 // oldest buffered seq
+	next  int64 // next seq to assign
+	wake  chan struct{}
+}
+
+func (s *Store) tailInit(bufSize int, replayed int64) {
+	if bufSize <= 0 {
+		bufSize = defaultTailBuffer
+	}
+	s.tail.buf = make([]WALRecord, bufSize)
+	s.tail.first = replayed + 1
+	s.tail.next = replayed + 1
+	s.tailSeq.Store(replayed)
+}
+
+// tailAppend assigns the next sequence number to one committed record and
+// returns it. Callers mutating the map hold the owning shard lock, which
+// is what keeps per-key tail order identical to map (and WAL) order.
+func (s *Store) tailAppend(op byte, key string, val []byte) int64 {
+	t := &s.tail
+	t.mu.Lock()
+	seq := t.next
+	t.next++
+	t.buf[seq%int64(len(t.buf))] = WALRecord{Seq: seq, Op: op, Key: key, Val: val}
+	if t.next-t.first > int64(len(t.buf)) {
+		t.first = t.next - int64(len(t.buf))
+	}
+	if t.wake != nil {
+		close(t.wake)
+		t.wake = nil
+	}
+	t.mu.Unlock()
+	s.tailSeq.Store(seq)
+	return seq
+}
+
+// TailFrom returns up to max records starting at sequence number from.
+// When from is the next unassigned position, it returns no records and a
+// wake channel that is closed by the next append — callers select on it
+// (plus their own cancellation) instead of polling; the store never blocks
+// them itself. When from has fallen off the ring (or names a position the
+// store has not assigned yet — a stale subscriber from a previous
+// incarnation), it returns ErrTailTruncated and the caller must bootstrap.
+// Returned Val slices alias immutable stored bytes.
+func (s *Store) TailFrom(from int64, max int) ([]WALRecord, <-chan struct{}, error) {
+	t := &s.tail
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from < t.first || from > t.next {
+		return nil, nil, ErrTailTruncated
+	}
+	if from == t.next {
+		if t.wake == nil {
+			t.wake = make(chan struct{})
+		}
+		return nil, t.wake, nil
+	}
+	n := t.next - from
+	if int64(max) < n {
+		n = int64(max)
+	}
+	out := make([]WALRecord, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = t.buf[(from+i)%int64(len(t.buf))]
+	}
+	return out, nil, nil
+}
+
+// WALSeq is the sequence number of the newest committed record (0 before
+// the first). The follower's applied position lagging the primary's WALSeq
+// is the replication lag /statz exposes.
+func (s *Store) WALSeq() int64 { return s.tailSeq.Load() }
+
+// SnapSeq is the tail position of the last completed snapshot's marker
+// record (0 before the first). WALSeq−SnapSeq is roughly how much log the
+// next compaction will retire.
+func (s *Store) SnapSeq() int64 { return s.snapSeq.Load() }
+
+// Clock returns the store's virtual clock (the newest record timestamp
+// observed).
+func (s *Store) Clock() int64 { return s.vnow.Load() }
+
+// SeedClock lifts the virtual clock to at least ts without writing any
+// record. Replication heartbeats call it on the follower so idle-eviction
+// horizons track the primary even when no states are flowing.
+func (s *Store) SeedClock(ts int64) { maxInt64(&s.vnow, ts) }

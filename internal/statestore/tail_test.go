@@ -1,0 +1,214 @@
+package statestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestTailSequenceAndOrder checks the basic tail contract: every committed
+// mutation gets the next sequence number, TailFrom returns them in order,
+// and deletes ride the stream as RecDelete records.
+func TestTailSequenceAndOrder(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.Put("a", wireState(4, 1, 100))
+	s.Put("b", wireState(4, 2, 200))
+	s.Delete("a")
+	if got := s.WALSeq(); got != 3 {
+		t.Fatalf("WALSeq = %d, want 3", got)
+	}
+
+	recs, wake, err := s.TailFrom(1, 100)
+	if err != nil || wake != nil {
+		t.Fatalf("TailFrom(1) = wake=%v err=%v", wake, err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	wantOps := []byte{RecPut, RecPut, RecDelete}
+	wantKeys := []string{"a", "b", "a"}
+	for i, r := range recs {
+		if r.Seq != int64(i+1) || r.Op != wantOps[i] || r.Key != wantKeys[i] {
+			t.Fatalf("record %d = {seq %d op %d key %s}, want {seq %d op %d key %s}",
+				i, r.Seq, r.Op, r.Key, i+1, wantOps[i], wantKeys[i])
+		}
+	}
+	if recs[2].Val != nil {
+		t.Fatal("delete record carries a value")
+	}
+}
+
+// TestTailWake checks the no-polling contract: a reader at the head gets a
+// wake channel instead of records, and the next append closes it.
+func TestTailWake(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	recs, wake, err := s.TailFrom(1, 10)
+	if err != nil || recs != nil || wake == nil {
+		t.Fatalf("TailFrom at head = recs=%v wake=%v err=%v, want armed wake", recs, wake, err)
+	}
+	select {
+	case <-wake:
+		t.Fatal("wake channel closed before any append")
+	default:
+	}
+	s.Put("a", wireState(4, 1, 100))
+	select {
+	case <-wake:
+	case <-time.After(time.Second):
+		t.Fatal("append did not close the wake channel")
+	}
+	recs, _, err = s.TailFrom(1, 10)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("after wake: %d records, err %v", len(recs), err)
+	}
+}
+
+// TestTailTruncation checks the bounded ring: positions that fell off the
+// buffer (and positions not yet assigned) report ErrTailTruncated, while
+// everything still buffered is readable.
+func TestTailTruncation(t *testing.T) {
+	s, err := Open(Options{TailBuffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%d", i), wireState(4, uint64(i)+1, int64(i)))
+	}
+	if _, _, err := s.TailFrom(1, 10); err != ErrTailTruncated {
+		t.Fatalf("TailFrom(1) after overflow: err = %v, want ErrTailTruncated", err)
+	}
+	if _, _, err := s.TailFrom(s.WALSeq()+2, 10); err != ErrTailTruncated {
+		t.Fatalf("TailFrom(future) err = %v, want ErrTailTruncated", err)
+	}
+	recs, _, err := s.TailFrom(7, 10)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("TailFrom(7) = %d records, err %v; want the 4 newest", len(recs), err)
+	}
+	for i, r := range recs {
+		if r.Seq != int64(7+i) || r.Key != fmt.Sprintf("k%d", 6+i) {
+			t.Fatalf("record %d = {seq %d key %s}", i, r.Seq, r.Key)
+		}
+	}
+}
+
+// TestTailSeqSurvivesRestart checks that a reopened store resumes sequence
+// numbering after its replayed records, and that pre-restart positions are
+// refused: a subscriber that was at seq 1 before the crash must be told to
+// bootstrap, not handed records that silently skip the recovered state.
+func TestTailSeqSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", wireState(4, 1, 100))
+	s.Put("b", wireState(4, 2, 200))
+	written := s.WALSeq()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.WALSeq(); got < written {
+		t.Fatalf("reopened WALSeq = %d, want >= %d (seq must not restart at 0)", got, written)
+	}
+	if _, _, err := r.TailFrom(1, 10); err != ErrTailTruncated {
+		t.Fatalf("pre-restart position readable after recovery: err = %v, want ErrTailTruncated", err)
+	}
+	before := r.WALSeq()
+	r.Put("c", wireState(4, 3, 300))
+	if got := r.WALSeq(); got != before+1 {
+		t.Fatalf("post-restart append got seq %d, want %d", got, before+1)
+	}
+	recs, _, err := r.TailFrom(before+1, 10)
+	if err != nil || len(recs) != 1 || recs[0].Key != "c" {
+		t.Fatalf("TailFrom(%d) = %v, err %v", before+1, recs, err)
+	}
+}
+
+// TestTailSnapshotMarker checks that a completed snapshot appends a
+// RecSnapshot marker carrying the persisted virtual clock, and that
+// SnapSeq/Stats expose the marker's position.
+func TestTailSnapshotMarker(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, SnapshotEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.Put("a", wireState(4, 1, 5000))
+	if s.SnapSeq() != 0 {
+		t.Fatalf("SnapSeq = %d before any snapshot", s.SnapSeq())
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	snapSeq := s.SnapSeq()
+	if snapSeq == 0 || snapSeq != s.WALSeq() {
+		t.Fatalf("SnapSeq = %d, WALSeq = %d; marker must be the newest record", snapSeq, s.WALSeq())
+	}
+	recs, _, err := s.TailFrom(snapSeq, 1)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("TailFrom(marker) = %d records, err %v", len(recs), err)
+	}
+	m := recs[0]
+	if m.Op != RecSnapshot || len(m.Val) != 8 {
+		t.Fatalf("marker = {op %d val %dB}, want {op RecSnapshot val 8B}", m.Op, len(m.Val))
+	}
+	if clock := int64(binary.LittleEndian.Uint64(m.Val)); clock != s.Clock() {
+		t.Fatalf("marker clock %d, store clock %d", clock, s.Clock())
+	}
+	st := s.Stats()
+	if st.WALSeq != s.WALSeq() || st.SnapSeq != snapSeq {
+		t.Fatalf("Stats seq mismatch: {wal %d snap %d}, want {%d %d}",
+			st.WALSeq, st.SnapSeq, s.WALSeq(), snapSeq)
+	}
+}
+
+// TestTailValIsStoredRepresentation checks the replication contract: the
+// tail record's Val is the tagged stored representation — byte-identical to
+// what Export emits — so a follower Importing it holds the same bytes the
+// primary does.
+func TestTailValIsStoredRepresentation(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.Put("a", wireState(4, 9, 900))
+	recs, _, err := s.TailFrom(1, 1)
+	if err != nil || len(recs) != 1 {
+		t.Fatal("tail read failed")
+	}
+	var exported []byte
+	err = s.Export(func(string) bool { return true }, func(_ string, stored []byte) error {
+		exported = append([]byte(nil), stored...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recs[0].Val, exported) {
+		t.Fatal("tail Val is not the stored (Export) representation")
+	}
+}
