@@ -51,6 +51,8 @@ func main() {
 		out           = flag.String("out", "", "write the machine-readable load report to this JSON path")
 		userLo        = flag.Int("user-lo", -1, "replay only users with ID >= this (-1 = no lower bound); phased replays over disjoint ranges compose because the digest is additive over users")
 		userHi        = flag.Int("user-hi", -1, "replay only users with ID <= this (-1 = no upper bound)")
+		retry         = flag.Int("retry", 0, "re-send a failed (transport error or 5xx) event post up to this many times in place before advancing — preserves per-user order, so digest parity survives transient cluster faults")
+		retryBackoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "pause between event-post retries")
 	)
 	flag.Parse()
 
@@ -58,8 +60,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ppload: "+format+"\n", args...)
 		os.Exit(1)
 	}
-	if *concurrency < 1 || *eventsPerPost < 1 || *predictEvery < 0 || *rate < 0 {
-		fmt.Fprintln(os.Stderr, "ppload: invalid flags: -concurrency and -events-per-post must be >= 1, -predict-every and -rate >= 0")
+	if *concurrency < 1 || *eventsPerPost < 1 || *predictEvery < 0 || *rate < 0 || *retry < 0 {
+		fmt.Fprintln(os.Stderr, "ppload: invalid flags: -concurrency and -events-per-post must be >= 1, -predict-every, -rate and -retry >= 0")
 		os.Exit(2)
 	}
 	if *expectDigest != "" && !*doFlush {
@@ -108,6 +110,8 @@ func main() {
 		PredictEvery:  *predictEvery,
 		RatePerSec:    *rate,
 		Flush:         *doFlush,
+		RetryFailed:   *retry,
+		RetryBackoff:  *retryBackoff,
 	}
 	rep, err := server.RunLoad(opts, log)
 	if err != nil {
@@ -117,6 +121,10 @@ func main() {
 	fmt.Printf("\n%d sessions (%d events in %d posts) in %.0fms — %.0f sessions/s\n",
 		rep.Sessions, rep.Events, rep.Posts, rep.WallMs, rep.SessionsPerSec)
 	fmt.Printf("shed: %d events, %d predicts  errors: %d\n", rep.Shed, rep.PredictsShed, rep.Errors)
+	if rep.Retries > 0 || rep.DegradedPredicts > 0 {
+		fmt.Printf("resilience: %d event-post retries, %d degraded predicts (answered by a non-owner replica)\n",
+			rep.Retries, rep.DegradedPredicts)
+	}
 	printLatency := func(name string, l server.LatencyStats) {
 		if l.Count == 0 {
 			return
@@ -216,22 +224,41 @@ func fetchStatzBody(addr string) ([]byte, error) {
 
 // printReplicaBreakdown shows the per-replica view when the target is a
 // pprouter (a single ppserve has no "replicas" field and prints nothing).
+// The forwarding taxonomy is decoded structurally rather than through
+// the cluster package: ppload is a pure client of the HTTP contract.
 func printReplicaBreakdown(statzBody []byte) {
+	type fwdStats struct {
+		Attempts       int64 `json:"attempts"`
+		Retries        int64 `json:"retries"`
+		ConnectRefused int64 `json:"connect_refused"`
+		Timeouts       int64 `json:"timeouts"`
+		Resets         int64 `json:"resets"`
+		Server5xx      int64 `json:"server_5xx"`
+		BreakerOpen    int64 `json:"breaker_open"`
+		OtherErrors    int64 `json:"other_errors"`
+		BreakerTrips   int64 `json:"breaker_trips"`
+	}
 	var cs struct {
 		Replicas []struct {
 			URL   string       `json:"url"`
 			Statz server.Statz `json:"statz"`
 		} `json:"replicas"`
-		Reshards int `json:"reshards"`
-		Moved    int `json:"moved_states"`
+		Reshards         int                 `json:"reshards"`
+		Moved            int                 `json:"moved_states"`
+		DegradedPredicts int64               `json:"degraded_predicts"`
+		Forwarding       map[string]fwdStats `json:"forwarding"`
 	}
 	if json.Unmarshal(statzBody, &cs) != nil || len(cs.Replicas) == 0 {
 		return
 	}
-	fmt.Printf("cluster: %d replicas, %d reshards, %d states moved\n",
-		len(cs.Replicas), cs.Reshards, cs.Moved)
+	fmt.Printf("cluster: %d replicas, %d reshards, %d states moved, %d degraded predicts\n",
+		len(cs.Replicas), cs.Reshards, cs.Moved, cs.DegradedPredicts)
 	for _, r := range cs.Replicas {
 		fmt.Printf("  %s: %d events, %d updates, %d keys, %d shed\n",
 			r.URL, r.Statz.Events, r.Statz.UpdatesRun, r.Statz.Store.Keys, r.Statz.EventsShed)
+		if f, ok := cs.Forwarding[r.URL]; ok && f.Attempts > 0 {
+			fmt.Printf("    forwards: %d attempts, %d retries; errors: %d refused, %d timeout, %d reset, %d 5xx, %d breaker-open, %d other (%d trips)\n",
+				f.Attempts, f.Retries, f.ConnectRefused, f.Timeouts, f.Resets, f.Server5xx, f.BreakerOpen, f.OtherErrors, f.BreakerTrips)
+		}
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/server"
 )
 
@@ -46,6 +47,13 @@ func main() {
 		probeIval   = flag.Duration("probe-interval", 0, "health-probe period; > 0 enables the prober and automatic failover")
 		probeTO     = flag.Duration("probe-timeout", time.Second, "per-probe HTTP timeout")
 		probeFails  = flag.Int("probe-fails", 3, "consecutive probe failures before a replica is declared dead")
+
+		dataTO     = flag.Duration("data-timeout", 0, "per-forward deadline for /event and /predict (0 = 10s default)")
+		controlTO  = flag.Duration("control-timeout", 0, "per-forward deadline for /flush, /export, /import and other control calls (0 = 2m default)")
+		predictRet = flag.Int("predict-retries", 0, "retry budget for owner-replica predict forwards (0 = default of 2, negative = no retries)")
+		brkFails   = flag.Int("breaker-fails", 0, "consecutive forward failures before a replica's circuit breaker opens (0 = default of 5)")
+		brkCool    = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open trial forward (0 = 1s default)")
+		faultsFile = flag.String("faults", "", "arm a deterministic fault-injection scenario from this JSON file (testing only)")
 	)
 	flag.Parse()
 
@@ -73,14 +81,33 @@ func main() {
 		followerOf[strings.TrimRight(primary, "/")] = strings.TrimRight(follower, "/")
 	}
 
+	if *faultsFile != "" {
+		plan, err := faults.Load(*faultsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprouter: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		if err := faults.Arm(plan); err != nil {
+			fmt.Fprintf(os.Stderr, "pprouter: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("FAULT INJECTION ARMED: %d rule(s) from %s (seed %d)\n",
+			len(plan.Rules), *faultsFile, plan.Seed)
+	}
+
 	router, err := cluster.New(cluster.Options{
-		Replicas:      urls,
-		VNodes:        *vnodes,
-		Followers:     followerOf,
-		Spares:        splitURLs(*spares),
-		ProbeInterval: *probeIval,
-		ProbeTimeout:  *probeTO,
-		ProbeFails:    *probeFails,
+		Replicas:        urls,
+		VNodes:          *vnodes,
+		Followers:       followerOf,
+		Spares:          splitURLs(*spares),
+		ProbeInterval:   *probeIval,
+		ProbeTimeout:    *probeTO,
+		ProbeFails:      *probeFails,
+		DataTimeout:     *dataTO,
+		ControlTimeout:  *controlTO,
+		PredictRetries:  *predictRet,
+		BreakerFails:    *brkFails,
+		BreakerCooldown: *brkCool,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pprouter: %v\n", err)

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/replication"
 	"repro/internal/server"
@@ -180,6 +181,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 		memprofile = flag.String("memprofile", "", "write a post-replay heap profile to this file")
 
+		faultsFile   = flag.String("faults", "", "arm a deterministic fault-injection scenario from this JSON file (testing only)")
 		persist      = flag.String("persist", "", "statestore durability directory (WAL + snapshots); empty = volatile")
 		evictAfter   = flag.Duration("evict-after", 0, "idle eviction horizon in virtual time (0 = never evict)")
 		memBudget    = flag.Int64("mem-budget", 0, "resident byte budget for hidden states (0 = unbounded)")
@@ -203,6 +205,22 @@ func main() {
 	if err := fs.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "ppserve: %v\n", err)
 		os.Exit(2)
+	}
+
+	// Arm fault injection before any faultable subsystem (statestore,
+	// replication, handlers) comes up, so a scenario covers the whole run.
+	if *faultsFile != "" {
+		plan, err := faults.Load(*faultsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppserve: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		if err := faults.Arm(plan); err != nil {
+			fmt.Fprintf(os.Stderr, "ppserve: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("FAULT INJECTION ARMED: %d rule(s) from %s (seed %d)\n",
+			len(plan.Rules), *faultsFile, plan.Seed)
 	}
 
 	lifecycle := *persist != "" || *evictAfter > 0 || *memBudget > 0 || *quant

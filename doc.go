@@ -24,12 +24,18 @@
 //   - internal/server — request-driven online serving tier: HTTP/JSON
 //     API + dynamic micro-batcher over the batched GEMM path (§9)
 //   - internal/cluster — user-sharded serving cluster: consistent-hash
-//     ring, forwarding/aggregating router, drain-and-handoff resharding,
-//     health prober + follower promotion on primary death
+//     ring, forwarding/aggregating router with per-route deadlines,
+//     retries, per-replica circuit breakers and degraded predicts,
+//     drain-and-handoff resharding, health prober + follower promotion
+//     on primary death
 //   - internal/replication — per-replica WAL shipping: a source tails
 //     the statestore WAL to a follower over a persistent connection
 //     (snapshot bootstrap, epoch fencing, windowed acks); promotion at
 //     replication lag zero loses no acknowledged state
+//   - internal/faults — deterministic, seeded fault injection: named
+//     fault points threaded through the router, replication, statestore
+//     and server seams, nil-op by default, armed from a scenario spec
+//     (-faults file.json) so chaos runs replay
 //   - internal/experiments — one driver per table/figure (§8-9)
 //   - internal/analysis — pplint: project-specific static analyzers that
 //     enforce the repo's clock, float-order, locking and durability

@@ -21,6 +21,10 @@ var clockRestrictedPkgs = []string{
 	"internal/tensor",
 	"internal/cluster",
 	"internal/replication",
+	// The fault layer sits inside the replay-deterministic packages above;
+	// a wall-clock read there (e.g. seeding a rule PRNG from time.Now)
+	// would make chaos scenarios unreplayable. Delays use timers only.
+	"internal/faults",
 }
 
 // clockFuncs are the forbidden time-package reads.

@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"syscall"
+	"time"
+)
+
+// The hardened forwarding path. Every router→replica request flows through
+// forward(): a per-route deadline (derived from the client's own request
+// context, so a disconnected client cancels the forward), a per-replica
+// circuit breaker on the data plane, bounded jittered retries for
+// idempotent requests, and a structured error taxonomy counted per
+// replica. Event posts are never retried here — the load generator owns
+// event retries, because a replayed event post is only safe when the
+// client re-sends the whole ordered post — while predict forwards and
+// control-plane fan-outs are idempotent and retry in place.
+//
+// The breaker exists to make a dead replica cheap before the prober
+// declares it dead: after BreakerFails consecutive transport failures the
+// replica's forwards fail fast (counted as breaker-open, no connection
+// attempt), a probe round is nudged immediately, and after
+// BreakerCooldown one trial request per cooldown is let through
+// (half-open) until a success closes it again.
+
+// ErrBreakerOpen fails a forward without a connection attempt because the
+// target replica's breaker is open.
+var ErrBreakerOpen = errors.New("cluster: replica breaker open")
+
+// ForwardStats is one replica's forwarding taxonomy in /statz: every
+// outcome a forward can have, so an operator can tell a refused connection
+// (process down) from a timeout (stalled), a reset (died mid-request), a
+// replica-side 5xx, and breaker fast-failures.
+type ForwardStats struct {
+	Attempts       int64 `json:"attempts"`
+	Retries        int64 `json:"retries"`
+	ConnectRefused int64 `json:"connect_refused,omitempty"`
+	Timeouts       int64 `json:"timeouts,omitempty"`
+	Resets         int64 `json:"resets,omitempty"`
+	Server5xx      int64 `json:"server_5xx,omitempty"`
+	BreakerOpen    int64 `json:"breaker_open,omitempty"`
+	OtherErrors    int64 `json:"other_errors,omitempty"`
+	BreakerTrips   int64 `json:"breaker_trips,omitempty"`
+}
+
+// replicaFwd is one replica's forwarding state: taxonomy counters plus the
+// breaker, all under fwdMu (a leaf lock below mu and independent of
+// healthMu).
+type replicaFwd struct {
+	stats       ForwardStats
+	consecFails int
+	open        bool
+	halfOpen    bool // cooldown elapsed; one trial may pass
+}
+
+// fwdOpts shapes one forward: the per-route deadline, how many retries the
+// route allows (0 for events), and whether the data-plane breaker gates it
+// (control-plane requests — promote, reshard transfers — must reach a
+// replica the data plane has written off).
+type fwdOpts struct {
+	timeout time.Duration
+	retries int
+	breaker bool
+}
+
+func (r *Router) dataOpts(retries int) fwdOpts {
+	return fwdOpts{timeout: r.opts.DataTimeout, retries: retries, breaker: true}
+}
+
+func (r *Router) ctlOpts() fwdOpts {
+	return fwdOpts{timeout: r.opts.ControlTimeout}
+}
+
+// replicaFwdState returns (creating if needed) the per-replica record.
+// Callers must hold fwdMu.
+func (r *Router) replicaFwdState(base string) *replicaFwd {
+	s := r.fwd[base]
+	if s == nil {
+		s = &replicaFwd{}
+		r.fwd[base] = s
+	}
+	return s
+}
+
+// classifyErr buckets one transport error for the taxonomy.
+func classifyErr(err error) string {
+	var nerr net.Error
+	switch {
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return "connect-refused"
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.As(err, &nerr) && nerr.Timeout():
+		return "timeout"
+	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, io.ErrUnexpectedEOF):
+		return "reset"
+	default:
+		return "other"
+	}
+}
+
+// noteForward bumps one taxonomy counter for a replica.
+func (r *Router) noteForward(base, kind string) {
+	r.fwdMu.Lock()
+	defer r.fwdMu.Unlock()
+	s := r.replicaFwdState(base)
+	switch kind {
+	case "attempt":
+		s.stats.Attempts++
+	case "retry":
+		s.stats.Retries++
+	case "connect-refused":
+		s.stats.ConnectRefused++
+	case "timeout":
+		s.stats.Timeouts++
+	case "reset":
+		s.stats.Resets++
+	case "server-5xx":
+		s.stats.Server5xx++
+	case "breaker-open":
+		s.stats.BreakerOpen++
+	default:
+		s.stats.OtherErrors++
+	}
+}
+
+// breakerAllow reports whether a data-plane forward to base may proceed:
+// true while closed, and exactly one trial per cooldown while half-open.
+func (r *Router) breakerAllow(base string) bool {
+	r.fwdMu.Lock()
+	defer r.fwdMu.Unlock()
+	s := r.replicaFwdState(base)
+	if !s.open {
+		return true
+	}
+	if s.halfOpen {
+		s.halfOpen = false
+		return true
+	}
+	return false
+}
+
+// breakerResult feeds one forward outcome into the breaker. A success
+// closes it; BreakerFails consecutive failures trip it (nudging the
+// prober, so failover detection does not wait out a full probe interval),
+// and a failed half-open trial re-arms the cooldown.
+func (r *Router) breakerResult(base string, ok bool) {
+	r.fwdMu.Lock()
+	defer r.fwdMu.Unlock()
+	s := r.replicaFwdState(base)
+	if ok {
+		s.consecFails = 0
+		s.open = false
+		s.halfOpen = false
+		return
+	}
+	s.consecFails++
+	switch {
+	case s.open:
+		// A failed trial: stay open, wait out another cooldown.
+		r.scheduleHalfOpen(s)
+	case s.consecFails >= r.breakerFails():
+		s.open = true
+		s.stats.BreakerTrips++
+		r.scheduleHalfOpen(s)
+		select {
+		case r.probeNow <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// scheduleHalfOpen lets one trial through after the cooldown. AfterFunc
+// (not a wall-clock read) keeps the cluster package off the real clock.
+// Callers hold fwdMu; the callback re-acquires it.
+func (r *Router) scheduleHalfOpen(s *replicaFwd) {
+	time.AfterFunc(r.breakerCooldown(), func() {
+		r.fwdMu.Lock()
+		if s.open {
+			s.halfOpen = true
+		}
+		r.fwdMu.Unlock()
+	})
+}
+
+func (r *Router) breakerFails() int {
+	if r.opts.BreakerFails <= 0 {
+		return 5
+	}
+	return r.opts.BreakerFails
+}
+
+func (r *Router) breakerCooldown() time.Duration {
+	if r.opts.BreakerCooldown <= 0 {
+		return time.Second
+	}
+	return r.opts.BreakerCooldown
+}
+
+// ForwardingStats snapshots the per-replica taxonomy for /statz.
+func (r *Router) ForwardingStats() map[string]ForwardStats {
+	r.fwdMu.Lock()
+	defer r.fwdMu.Unlock()
+	out := make(map[string]ForwardStats, len(r.fwd))
+	for base, s := range r.fwd {
+		out[base] = s.stats
+	}
+	return out
+}
+
+// DegradedPredicts returns how many predictions this router answered from
+// a non-owning replica.
+func (r *Router) DegradedPredicts() int64 { return r.degradedPredicts.Load() }
+
+// cancelBody ties a response body to its request's context cancel func,
+// so the per-forward context lives exactly as long as the body is read.
+type cancelBody struct {
+	rc     io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Read(p []byte) (int, error) { return b.rc.Read(p) }
+func (b *cancelBody) Close() error {
+	b.cancel()
+	return b.rc.Close()
+}
+
+// forward runs one request against one replica under the route's deadline,
+// the replica's breaker, and the route's retry budget. It returns a
+// response for ANY received status — callers relay replica statuses (429
+// shed, 503 draining) unchanged — and an error only when no response was
+// received (transport failure, breaker open, context cancelled). A 5xx
+// counts as a failure for the breaker and taxonomy, and is retried while
+// the budget lasts, but the final 5xx is returned as a response so its
+// status reaches the client.
+func (r *Router) forward(ctx context.Context, method, base, path string, body []byte, o fwdOpts) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if o.breaker && !r.breakerAllow(base) {
+			r.noteForward(base, "breaker-open")
+			return nil, fmt.Errorf("%w: %s", ErrBreakerOpen, base)
+		}
+		r.noteForward(base, "attempt")
+		fctx, cancel := context.WithTimeout(ctx, o.timeout)
+		var reqBody io.Reader
+		if body != nil {
+			reqBody = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(fctx, method, base+path, reqBody)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err == nil && resp.StatusCode < http.StatusInternalServerError {
+			if o.breaker {
+				r.breakerResult(base, true)
+			}
+			resp.Body = &cancelBody{rc: resp.Body, cancel: cancel}
+			return resp, nil
+		}
+		if err != nil {
+			r.noteForward(base, classifyErr(err))
+			lastErr = err
+		} else {
+			r.noteForward(base, "server-5xx")
+			lastErr = fmt.Errorf("%s%s: HTTP %d", base, path, resp.StatusCode)
+		}
+		if o.breaker {
+			r.breakerResult(base, false)
+		}
+		if attempt >= o.retries || ctx.Err() != nil {
+			if err != nil {
+				cancel()
+				return nil, lastErr
+			}
+			resp.Body = &cancelBody{rc: resp.Body, cancel: cancel}
+			return resp, nil
+		}
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+		r.noteForward(base, "retry")
+		// Jittered linear backoff keeps a retry burst from landing on a
+		// recovering replica in lockstep with every other retrier.
+		sleep := time.Duration(attempt+1)*5*time.Millisecond +
+			time.Duration(rand.Int63n(int64(5*time.Millisecond)))
+		t := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// stubReplica is a bare HTTP stand-in for a replica, programmable per
+// request — the forwarding layer's behavior (taxonomy, breaker, retries,
+// deadlines) is independent of what a real server would compute.
+func stubReplica(handler http.HandlerFunc) *httptest.Server {
+	return httptest.NewServer(handler)
+}
+
+func newTestRouter(t *testing.T, opts Options) *Router {
+	t.Helper()
+	r, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestForwardTaxonomy pins the error classification: a refused connection,
+// a replica 5xx, and a timeout land in distinct per-replica counters.
+func TestForwardTaxonomy(t *testing.T) {
+	fiver := stubReplica(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	defer fiver.Close()
+	staller := stubReplica(func(w http.ResponseWriter, req *http.Request) {
+		time.Sleep(2 * time.Second)
+	})
+	defer staller.Close()
+	dead := stubReplica(func(w http.ResponseWriter, req *http.Request) {})
+	deadURL := dead.URL
+	dead.Close()
+
+	r := newTestRouter(t, Options{
+		Replicas:    []string{fiver.URL},
+		DataTimeout: 50 * time.Millisecond,
+	})
+	ctx := context.Background()
+
+	if _, err := r.forward(ctx, http.MethodPost, deadURL, "/event", nil, r.dataOpts(0)); err == nil {
+		t.Fatal("forward to a closed listener succeeded")
+	}
+	resp, err := r.forward(ctx, http.MethodPost, fiver.URL, "/event", nil, r.dataOpts(0))
+	if err != nil {
+		t.Fatalf("5xx must come back as a response, got error %v", err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	t0 := time.Now()
+	if _, err := r.forward(ctx, http.MethodPost, staller.URL, "/event", nil, r.dataOpts(0)); err == nil {
+		t.Fatal("stalled forward did not time out")
+	}
+	if elapsed := time.Since(t0); elapsed > time.Second {
+		t.Fatalf("per-route deadline not enforced: took %v", elapsed)
+	}
+
+	stats := r.ForwardingStats()
+	if stats[deadURL].ConnectRefused == 0 {
+		t.Fatalf("refused connection not classified: %+v", stats[deadURL])
+	}
+	if stats[fiver.URL].Server5xx != 1 {
+		t.Fatalf("5xx not classified: %+v", stats[fiver.URL])
+	}
+	if stats[staller.URL].Timeouts != 1 {
+		t.Fatalf("timeout not classified: %+v", stats[staller.URL])
+	}
+}
+
+// TestForwardRetriesIdempotent pins the retry budget: transient 5xx
+// responses retry in place and the eventual success is returned, with the
+// attempts and retries accounted.
+func TestForwardRetriesIdempotent(t *testing.T) {
+	var calls atomic.Int64
+	flaky := stubReplica(func(w http.ResponseWriter, req *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	defer flaky.Close()
+
+	r := newTestRouter(t, Options{Replicas: []string{flaky.URL}})
+	resp, err := r.forward(context.Background(), http.MethodPost, flaky.URL, "/predict", nil, r.dataOpts(2))
+	if err != nil {
+		t.Fatalf("retry budget did not absorb transient 5xx: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after retries", resp.StatusCode)
+	}
+	resp.Body.Close()
+	st := r.ForwardingStats()[flaky.URL]
+	if st.Attempts != 3 || st.Retries != 2 || st.Server5xx != 2 {
+		t.Fatalf("accounting off: %+v", st)
+	}
+}
+
+// TestBreakerTripAndRecovery pins the breaker lifecycle: consecutive
+// failures trip it, open forwards fail fast without a connection attempt,
+// and a half-open trial after the cooldown closes it on success.
+func TestBreakerTripAndRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	flappy := stubReplica(func(w http.ResponseWriter, req *http.Request) {
+		if healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	defer flappy.Close()
+
+	r := newTestRouter(t, Options{
+		Replicas:        []string{flappy.URL},
+		BreakerFails:    3,
+		BreakerCooldown: 30 * time.Millisecond,
+	})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		resp, err := r.forward(ctx, http.MethodPost, flappy.URL, "/event", nil, r.dataOpts(0))
+		if err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if _, err := r.forward(ctx, http.MethodPost, flappy.URL, "/event", nil, r.dataOpts(0)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker did not trip after 3 consecutive failures: %v", err)
+	}
+	st := r.ForwardingStats()[flappy.URL]
+	if st.BreakerTrips != 1 || st.BreakerOpen == 0 {
+		t.Fatalf("breaker accounting off: %+v", st)
+	}
+	// The trip nudged the prober channel.
+	select {
+	case <-r.probeNow:
+	default:
+		t.Fatal("breaker trip did not nudge the prober")
+	}
+
+	// Replica recovers; after the cooldown a half-open trial closes the
+	// breaker again.
+	healthy.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		resp, err := r.forward(ctx, http.MethodPost, flappy.URL, "/event", nil, r.dataOpts(0))
+		if err == nil && resp.StatusCode == http.StatusOK {
+			resp.Body.Close()
+			recovered = true
+			break
+		}
+		if resp != nil {
+			resp.Body.Close()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("breaker never recovered after the replica came back")
+	}
+	if _, err := r.forward(ctx, http.MethodPost, flappy.URL, "/event", nil, r.dataOpts(0)); err != nil {
+		t.Fatalf("closed breaker still failing: %v", err)
+	}
+}
+
+// TestDegradedPredict pins graceful degradation: when the owning replica
+// is down, a predict comes back 200 from a fallback replica with the
+// degraded flag set and the router's counter advanced — not 502.
+func TestDegradedPredict(t *testing.T) {
+	m := testModel(t, 16)
+	a, b := startReplica(t, m), startReplica(t, m)
+	defer b.stop(t)
+	router := newTestRouter(t, Options{
+		Replicas:    []string{a.ts.URL, b.ts.URL},
+		DataTimeout: 2 * time.Second,
+	})
+	rts := httptest.NewServer(router)
+	defer rts.Close()
+
+	// Find a user owned by replica A, then kill A.
+	user := -1
+	for u := 0; u < 64; u++ {
+		if router.Ring().OwnerOfUser(u) == a.ts.URL {
+			user = u
+			break
+		}
+	}
+	if user < 0 {
+		t.Fatal("no user hashed to replica A")
+	}
+	kill(a)
+
+	body, _ := json.Marshal(server.PredictIn{User: user, Ts: 1000, Cat: []int{0, 0}})
+	resp, err := http.Post(rts.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		t.Fatalf("predict with dead owner: HTTP %d (%s), want 200 degraded", resp.StatusCode, msg.String())
+	}
+	var out server.PredictOut
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded {
+		t.Fatalf("degraded flag not set: %+v", out)
+	}
+	if got := router.DegradedPredicts(); got != 1 {
+		t.Fatalf("degraded counter = %d, want 1", got)
+	}
+
+	// A user owned by the healthy replica still gets a normal answer.
+	for u := 0; u < 64; u++ {
+		if router.Ring().OwnerOfUser(u) == b.ts.URL {
+			body, _ := json.Marshal(server.PredictIn{User: u, Ts: 1000, Cat: []int{0, 0}})
+			resp2, err := http.Post(rts.URL+"/predict", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out2 server.PredictOut
+			if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+				t.Fatal(err)
+			}
+			resp2.Body.Close()
+			if resp2.StatusCode != http.StatusOK || out2.Degraded {
+				t.Fatalf("healthy-owner predict degraded: HTTP %d %+v", resp2.StatusCode, out2)
+			}
+			break
+		}
+	}
+
+	// The dead replica's failures landed in the taxonomy (the /statz
+	// payload carries the same map via ForwardingStats).
+	fs := router.ForwardingStats()[a.ts.URL]
+	if fs.ConnectRefused == 0 && fs.Timeouts == 0 && fs.Resets == 0 && fs.OtherErrors == 0 {
+		t.Fatalf("dead replica's failures missing from the taxonomy: %+v", fs)
+	}
+
+	shutdownKilled(t, a)
+}

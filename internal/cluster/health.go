@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -78,6 +79,10 @@ func (r *Router) runProber() {
 		case <-r.proberStopCh:
 			return
 		case <-tick.C:
+		case <-r.probeNow:
+			// A tripped breaker nudges an immediate probe round: replica
+			// death detected by the data plane should start the failover
+			// clock now, not after the rest of the probe interval.
 		}
 	}
 }
@@ -193,7 +198,7 @@ func (r *Router) Failover(dead string) error {
 	var out struct {
 		LastSeq int64 `json:"last_seq"`
 	}
-	status, err := r.postJSON(follower+"/replicate/promote", nil, &out) //pplint:allow lockcheck (cutover under write lock, like reshard)
+	status, err := r.postJSON(context.Background(), follower, "/replicate/promote", nil, &out, r.ctlOpts())
 	if err != nil {
 		return fmt.Errorf("cluster: promoting %s: %w", follower, err)
 	}
@@ -226,7 +231,7 @@ func (r *Router) Failover(dead string) error {
 // rereplicate points a spare at a freshly promoted primary.
 func (r *Router) rereplicate(primary, spare string) {
 	defer r.rereplicateWG.Done()
-	status, err := r.postJSON(spare+"/replicate/follow", map[string]string{"primary": primary}, nil)
+	status, err := r.postJSON(context.Background(), spare, "/replicate/follow", map[string]string{"primary": primary}, nil, r.ctlOpts())
 	if err == nil && status != http.StatusOK {
 		err = fmt.Errorf("HTTP %d", status)
 	}

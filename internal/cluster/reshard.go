@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 
@@ -66,7 +67,7 @@ func (r *Router) Reshard(newReplicas []string) (int, error) {
 // flushReplica drains one replica's pipeline (outstanding timers fire, the
 // micro-batcher empties) so its store is consistent for export.
 func (r *Router) flushReplica(url string) error {
-	status, err := r.postJSON(url+"/flush", nil, nil)
+	status, err := r.postJSON(context.Background(), url, "/flush", nil, nil, r.ctlOpts())
 	if err != nil {
 		return err
 	}
@@ -80,7 +81,7 @@ func (r *Router) flushReplica(url string) error {
 func (r *Router) transfer(m Move) (int, error) {
 	req := server.ArcsRequest{Arcs: m.Arcs}
 	var payload server.TransferPayload
-	status, err := r.postJSON(m.Src+"/export", req, &payload)
+	status, err := r.postJSON(context.Background(), m.Src, "/export", req, &payload, r.ctlOpts())
 	if err != nil {
 		return 0, fmt.Errorf("export: %w", err)
 	}
@@ -91,7 +92,7 @@ func (r *Router) transfer(m Move) (int, error) {
 		return 0, err
 	}
 	if len(payload.Entries) > 0 {
-		status, err = r.postJSON(m.Src+"/drop", req, nil)
+		status, err = r.postJSON(context.Background(), m.Src, "/drop", req, nil, r.ctlOpts())
 		if err != nil {
 			return 0, fmt.Errorf("drop: %w", err)
 		}
@@ -109,7 +110,7 @@ func (r *Router) importEntries(url string, entries []server.TransferEntry) error
 		if hi > len(entries) {
 			hi = len(entries)
 		}
-		status, err := r.postJSON(url+"/import", server.TransferPayload{Entries: entries[lo:hi]}, nil)
+		status, err := r.postJSON(context.Background(), url, "/import", server.TransferPayload{Entries: entries[lo:hi]}, nil, r.ctlOpts())
 		if err != nil {
 			return fmt.Errorf("import: %w", err)
 		}

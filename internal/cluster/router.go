@@ -2,13 +2,16 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/server"
 	"repro/internal/serving"
 )
@@ -44,11 +47,31 @@ type Options struct {
 	// DefaultVNodes). Every ring this router builds uses the same value.
 	VNodes int
 	// Client overrides the forwarding HTTP client (nil selects a pooled
-	// default with a generous timeout — replica flushes can take a while).
+	// default with no client-level timeout: deadlines are per-route via
+	// DataTimeout/ControlTimeout, threaded through each request context).
 	Client *http.Client
 	// ImportChunk bounds entries per /import POST during a handoff (<=0
 	// selects 512), keeping transfer bodies under the replicas' body cap.
 	ImportChunk int
+
+	// DataTimeout bounds one data-plane forward (/event, /predict;
+	// <=0 selects 10s). Replacing the old client-wide 120s catch-all:
+	// an event post should never wait two minutes on a wedged replica.
+	DataTimeout time.Duration
+	// ControlTimeout bounds one control-plane request — flush, digest,
+	// statz, transfers, promote (<=0 selects 2m; replica flushes and
+	// bootstrap imports legitimately take a while).
+	ControlTimeout time.Duration
+	// PredictRetries is the retry budget for one predict forward (<0
+	// disables; 0 selects 2). Predicts are idempotent reads, so a
+	// transient transport failure retries in place with jittered backoff;
+	// event posts never retry here (the client owns event replay).
+	PredictRetries int
+	// BreakerFails is how many consecutive forward failures trip a
+	// replica's circuit breaker (<=0 selects 5); BreakerCooldown is how
+	// long it stays open before a half-open trial (<=0 selects 1s).
+	BreakerFails    int
+	BreakerCooldown time.Duration
 
 	// Followers maps a ring replica's URL to the follower replicating it
 	// (ppserve -replica-of). When the replica dies, Failover promotes the
@@ -93,6 +116,15 @@ type Router struct {
 	proberStopCh    chan struct{}
 	proberWG        sync.WaitGroup
 	rereplicateWG   sync.WaitGroup
+	// probeNow nudges the prober out of its tick wait (a tripped breaker
+	// should not wait out a probe interval to start the failover clock).
+	probeNow chan struct{}
+
+	// Forwarding taxonomy and breakers (forward.go), under the fwdMu
+	// leaf lock.
+	fwdMu            sync.Mutex
+	fwd              map[string]*replicaFwd
+	degradedPredicts atomic.Int64
 
 	start    time.Time
 	reshards int
@@ -108,13 +140,16 @@ type ReplicaStatz struct {
 
 // Statz is the router's /statz payload: the aggregate (summed) view in the
 // exact shape of a single replica's Statz — so single-process clients like
-// ppload decode it unchanged — plus the per-replica breakdown.
+// ppload decode it unchanged — plus the per-replica breakdown, the
+// forwarding-error taxonomy, and the degraded-predict count.
 type Statz struct {
 	server.Statz
-	Replicas  []ReplicaStatz `json:"replicas"`
-	Reshards  int            `json:"reshards"`
-	Moved     int            `json:"moved_states"`
-	Failovers int            `json:"failovers"`
+	Replicas         []ReplicaStatz          `json:"replicas"`
+	Reshards         int                     `json:"reshards"`
+	Moved            int                     `json:"moved_states"`
+	Failovers        int                     `json:"failovers"`
+	DegradedPredicts int64                   `json:"degraded_predicts"`
+	Forwarding       map[string]ForwardStats `json:"forwarding,omitempty"`
 }
 
 // New builds a router over the given replicas.
@@ -126,11 +161,27 @@ func New(opts Options) (*Router, error) {
 	if opts.ImportChunk <= 0 {
 		opts.ImportChunk = 512
 	}
+	if opts.DataTimeout <= 0 {
+		opts.DataTimeout = 10 * time.Second
+	}
+	if opts.ControlTimeout <= 0 {
+		opts.ControlTimeout = 2 * time.Minute
+	}
+	if opts.PredictRetries == 0 {
+		opts.PredictRetries = 2
+	}
+	if opts.PredictRetries < 0 {
+		opts.PredictRetries = 0
+	}
 	client := opts.Client
 	if client == nil {
+		// No client-level timeout: every forward carries its own per-route
+		// context deadline (forward.go), so a long control-plane flush and a
+		// short data-plane post stop sharing one catch-all budget. The fault
+		// layer wraps the transport so chaos scenarios can shape this path.
 		client = &http.Client{
-			Timeout:   120 * time.Second,
-			Transport: &http.Transport{MaxIdleConnsPerHost: 64},
+			Transport: faults.WrapTransport("router.forward",
+				&http.Transport{MaxIdleConnsPerHost: 64}),
 		}
 	}
 	probeTimeout := opts.ProbeTimeout
@@ -145,9 +196,14 @@ func New(opts Options) (*Router, error) {
 		r.followers[primary] = follower
 	}
 	r.spares = append([]string(nil), opts.Spares...)
-	r.probeClient = &http.Client{Timeout: probeTimeout}
+	r.probeClient = &http.Client{
+		Timeout:   probeTimeout,
+		Transport: faults.WrapTransport("router.probe", nil),
+	}
 	r.health = make(map[string]*healthState)
 	r.proberStopCh = make(chan struct{})
+	r.probeNow = make(chan struct{}, 1)
+	r.fwd = make(map[string]*replicaFwd)
 	r.mux = http.NewServeMux()
 	r.mux.HandleFunc("/event", r.handleEvent)
 	r.mux.HandleFunc("/predict", r.handlePredict)
@@ -180,18 +236,35 @@ func writeErr(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
-// postJSON posts v and decodes the response into out (unless nil),
-// returning the status code.
-func (r *Router) postJSON(url string, v any, out any) (int, error) {
-	var body io.Reader
+// postJSON posts v to base+path through the hardened forward path and
+// decodes the response into out (unless nil), returning the status code.
+func (r *Router) postJSON(ctx context.Context, base, path string, v any, out any, o fwdOpts) (int, error) {
+	var body []byte
 	if v != nil {
 		buf, err := json.Marshal(v)
 		if err != nil {
 			return 0, err
 		}
-		body = bytes.NewReader(buf)
+		body = buf
 	}
-	resp, err := r.client.Post(url, "application/json", body)
+	resp, err := r.forward(ctx, http.MethodPost, base, path, body, o)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// getJSON fetches base+path through the forward path into out.
+func (r *Router) getJSON(ctx context.Context, base, path string, out any, o fwdOpts) (int, error) {
+	resp, err := r.forward(ctx, http.MethodGet, base, path, nil, o)
 	if err != nil {
 		return 0, err
 	}
@@ -266,7 +339,11 @@ func (r *Router) handleEvent(w http.ResponseWriter, req *http.Request) {
 	results := make(chan result, len(groups))
 	for url, group := range groups {
 		go func(url string, group []server.Event) {
-			status, err := r.postJSON(url+"/event", group, nil)
+			// Events forward with the data-plane deadline and breaker but a
+			// zero retry budget: replaying an event post is only safe when
+			// the client re-sends the whole ordered post, so retries belong
+			// to the load generator, not the router.
+			status, err := r.postJSON(req.Context(), url, "/event", group, nil, r.dataOpts(0))
 			results <- result{status, err}
 		}(url, group)
 	}
@@ -303,8 +380,14 @@ func (r *Router) handleEvent(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
-// handlePredict forwards the prediction to the owning replica and relays
-// its response verbatim.
+// handlePredict forwards the prediction to the owning replica (with the
+// per-route deadline and retry budget) and relays its response verbatim.
+// When the owner is unreachable — transport failure, open breaker, or a
+// 5xx after retries — it degrades instead of failing: the other ring
+// replicas are tried in order, and the first 200 is relayed with the
+// degraded flag set. The fallback replica has no state for this user, so
+// its answer is the cold-start (h0) prediction — the paper's degradation
+// contract: a usable answer from the prior beats an error page.
 func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST only")
@@ -321,21 +404,60 @@ func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	ctx := req.Context()
 	r.mu.RLock()
-	owner := r.ring.OwnerOfUser(in.User)
+	ring := r.ring
+	owner := ring.OwnerOfUser(in.User)
 	// Forwarding under r.mu.RLock is deliberate: a reshard (write lock)
 	// must not rehome this user while the predict is in flight on the
 	// replica the old ring chose.
-	resp, err := r.client.Post(owner+"/predict", "application/json", bytes.NewReader(body)) //pplint:allow lockcheck
+	resp, err := r.forward(ctx, http.MethodPost, owner, "/predict", body, r.dataOpts(r.opts.PredictRetries))
+	if err == nil && resp.StatusCode < http.StatusInternalServerError {
+		r.mu.RUnlock()
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	var out server.PredictOut
+	degraded := false
+	for _, u := range ring.Replicas() {
+		if u == owner {
+			continue
+		}
+		fresp, ferr := r.forward(ctx, http.MethodPost, u, "/predict", body, r.dataOpts(0))
+		if ferr != nil {
+			continue
+		}
+		if fresp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, fresp.Body)
+			fresp.Body.Close()
+			continue
+		}
+		derr := json.NewDecoder(fresp.Body).Decode(&out)
+		fresp.Body.Close()
+		if derr == nil {
+			degraded = true
+			break
+		}
+	}
 	r.mu.RUnlock()
+	if degraded {
+		out.Degraded = true
+		r.degradedPredicts.Add(1)
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadGateway, "forwarding predict: "+err.Error())
 		return
 	}
-	defer resp.Body.Close()
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	writeErr(w, http.StatusBadGateway, fmt.Sprintf("owner replied HTTP %d and no fallback replica answered", resp.StatusCode))
 }
 
 // ---- control plane ----
@@ -371,7 +493,7 @@ func (r *Router) handleFlush(w http.ResponseWriter, req *http.Request) {
 			UpdatesRun int64 `json:"updates_run"`
 			Pending    int64 `json:"pending"`
 		}
-		status, err := r.postJSON(u+"/flush", nil, &out)
+		status, err := r.postJSON(req.Context(), u, "/flush", nil, &out, r.ctlOpts())
 		if err != nil {
 			return fmt.Errorf("%s: %w", u, err)
 		}
@@ -407,7 +529,7 @@ func (r *Router) handleDigest(w http.ResponseWriter, req *http.Request) {
 	digests := make([]string, 0, len(urls))
 	conflict := false
 	err := eachReplica(urls, func(u string) error {
-		resp, err := r.client.Get(u + "/digest")
+		resp, err := r.forward(req.Context(), http.MethodGet, u, "/digest", nil, r.ctlOpts())
 		if err != nil {
 			// Transport failure: the replica is unreachable, not busy —
 			// surface 502, never the retryable 409.
@@ -492,14 +614,20 @@ func (r *Router) handleStatz(w http.ResponseWriter, req *http.Request) {
 	var mu sync.Mutex
 	out := Statz{Reshards: reshards, Moved: moved, Failovers: failovers}
 	out.UptimeSec = time.Since(r.start).Seconds() //pplint:allow virtualclock (uptime gauge only)
+	out.DegradedPredicts = r.degradedPredicts.Load()
+	out.Forwarding = r.ForwardingStats()
 	err := eachReplica(urls, func(u string) error {
-		st, err := server.FetchStatz(u, r.client)
+		var st server.Statz
+		status, err := r.getJSON(req.Context(), u, "/statz", &st, r.ctlOpts())
 		if err != nil {
 			return fmt.Errorf("%s: %w", u, err)
 		}
+		if status != http.StatusOK {
+			return fmt.Errorf("%s: statz HTTP %d", u, status)
+		}
 		mu.Lock()
 		defer mu.Unlock()
-		out.Replicas = append(out.Replicas, ReplicaStatz{URL: u, Statz: *st})
+		out.Replicas = append(out.Replicas, ReplicaStatz{URL: u, Statz: st})
 		out.Events += st.Events
 		out.EventsShed += st.EventsShed
 		out.Predicts += st.Predicts

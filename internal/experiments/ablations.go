@@ -159,6 +159,7 @@ func (l *Lab) ByID(id string) *Report {
 		"loadtest":      l.Loadtest,
 		"cluster":       l.Cluster,
 		"failover":      l.Failover,
+		"chaos":         l.Chaos,
 		"batching":      l.Batching,
 		"cells":         l.Cells,
 		"latentcross":   l.LatentCross,
@@ -180,7 +181,7 @@ func IDs() []string {
 	return []string{
 		"table1", "table2", "figure1", "table3", "table4", "table5",
 		"figure4", "figure5", "figure6", "figure7", "online-recall",
-		"serving", "parallel", "lifecycle", "loadtest", "cluster", "failover", "batching", "cells", "latentcross", "hiddendim", "losswindow",
+		"serving", "parallel", "lifecycle", "loadtest", "cluster", "failover", "chaos", "batching", "cells", "latentcross", "hiddendim", "losswindow",
 		"stacked", "universal", "retrain", "quantization",
 	}
 }

@@ -1,0 +1,229 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDisarmedIsZero pins the nil-op contract: with nothing armed, every
+// point returns the zero Outcome.
+func TestDisarmedIsZero(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() true with no scenario")
+	}
+	if out := Hit("statestore.wal.write", "/tmp/x"); out != (Outcome{}) {
+		t.Fatalf("disarmed Hit returned %+v", out)
+	}
+	if err := Fire("server.event", ""); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+}
+
+// TestHitSemantics covers after/count/match bounds and action outcomes.
+func TestHitSemantics(t *testing.T) {
+	defer Disarm()
+	err := Arm(&Plan{Seed: 7, Rules: []Rule{
+		{Point: "p.err", Action: ActError, Err: "enospc", After: 2, Count: 1},
+		{Point: "p.short", Action: ActShortWrite, Short: 5},
+		{Point: "p.scoped", Match: "replica-b", Action: ActReset},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// After=2 skips the first two hits; Count=1 fires exactly once.
+	for i := 0; i < 2; i++ {
+		if out := Hit("p.err", ""); out.Err != nil {
+			t.Fatalf("hit %d fired inside the After window", i)
+		}
+	}
+	out := Hit("p.err", "")
+	if !errors.Is(out.Err, ErrInjected) || !errors.Is(out.Err, syscall.ENOSPC) {
+		t.Fatalf("want injected ENOSPC, got %v", out.Err)
+	}
+	if out := Hit("p.err", ""); out.Err != nil {
+		t.Fatal("rule fired past its Count")
+	}
+
+	out = Hit("p.short", "")
+	if !errors.Is(out.Err, io.ErrShortWrite) || out.Short != 5 {
+		t.Fatalf("want short-write 5, got %+v", out)
+	}
+
+	if out := Hit("p.scoped", "http://replica-a:1"); out.Err != nil {
+		t.Fatal("scoped rule fired on a non-matching scope")
+	}
+	if out := Hit("p.scoped", "http://replica-b:1"); !errors.Is(out.Err, syscall.ECONNRESET) {
+		t.Fatalf("scoped rule missed its scope: %+v", out)
+	}
+
+	c := Counters()
+	if c["p.err/error"] != 1 || c["p.short/short-write"] != 1 || c["p.scoped/reset"] != 1 {
+		t.Fatalf("counters %v", c)
+	}
+}
+
+// TestDeterministicReplay pins the seeded-PRNG contract: the same plan
+// over the same hit sequence fires the same subset, and a different seed
+// fires a different one.
+func TestDeterministicReplay(t *testing.T) {
+	defer Disarm()
+	run := func(seed uint64) []bool {
+		if err := Arm(&Plan{Seed: seed, Rules: []Rule{
+			{Point: "p", Action: ActDelay, Prob: 0.3, DelayMs: 0},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		fired := make([]bool, 200)
+		var prev int64
+		for i := range fired {
+			Hit("p", "")
+			now := Counters()["p/delay"]
+			fired[i] = now > prev
+			prev = now
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical firing patterns")
+	}
+}
+
+// TestLoadFile round-trips a scenario file through Load/Arm.
+func TestLoadFile(t *testing.T) {
+	defer Disarm()
+	path := filepath.Join(t.TempDir(), "faults.json")
+	spec := `{"seed": 9, "faults": [
+		{"point": "router.forward", "match": "/event", "action": "delay", "prob": 0.5, "delay_ms": 10}
+	]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 || len(p.Rules) != 1 || p.Rules[0].DelayMs != 10 {
+		t.Fatalf("loaded plan %+v", p)
+	}
+	if err := Arm(p); err != nil {
+		t.Fatal(err)
+	}
+	if !Armed() {
+		t.Fatal("not armed after Arm")
+	}
+}
+
+// TestArmRejectsBadRules pins validation.
+func TestArmRejectsBadRules(t *testing.T) {
+	defer Disarm()
+	if err := Arm(&Plan{Rules: []Rule{{Point: "p", Action: "explode"}}}); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+	if err := Arm(&Plan{Rules: []Rule{{Action: ActDelay}}}); err == nil {
+		t.Fatal("empty point accepted")
+	}
+}
+
+// TestWrapTransport covers the HTTP fault shapes: reset fails the round
+// trip, drop runs into the context deadline, delay slows the request.
+func TestWrapTransport(t *testing.T) {
+	defer Disarm()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	client := &http.Client{Transport: WrapTransport("t.fwd", nil)}
+
+	// Disarmed: transparent.
+	resp, err := client.Get(ts.URL + "/ok")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("disarmed round trip: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	if err := Arm(&Plan{Seed: 1, Rules: []Rule{
+		{Point: "t.fwd", Match: "/reset", Action: ActReset},
+		{Point: "t.fwd", Match: "/drop", Action: ActDrop},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Get(ts.URL + "/reset"); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("want injected reset, got %v", err)
+	}
+	// A drop without a deadline must fail fast rather than hang.
+	if _, err := client.Get(ts.URL + "/drop"); err == nil {
+		t.Fatal("deadline-free drop did not error")
+	}
+	// A drop under a client timeout runs into it.
+	short := &http.Client{Transport: WrapTransport("t.fwd", nil), Timeout: 50 * time.Millisecond}
+	t0 := time.Now()
+	if _, err := short.Get(ts.URL + "/drop"); err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if time.Since(t0) > 2*time.Second {
+		t.Fatal("drop ignored the deadline")
+	}
+	// The untouched route still works.
+	resp, err = client.Get(ts.URL + "/ok")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean route under armed scenario: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestWrapConnCorrupt pins the bit-flip shape: the reader sees modified
+// bytes, which a framed protocol's CRC must catch.
+func TestWrapConnCorrupt(t *testing.T) {
+	defer Disarm()
+	if err := Arm(&Plan{Seed: 1, Rules: []Rule{
+		{Point: "t.conn.read", Action: ActCorrupt, Count: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	defer server.Close()
+	go func() {
+		server.Write([]byte{0x01, 0x02})
+		server.Write([]byte{0x03})
+	}()
+	fc := WrapConn("t.conn", "peer", client)
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(fc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x81 {
+		t.Fatalf("first read not corrupted: % x", buf)
+	}
+	one := make([]byte, 1)
+	if _, err := io.ReadFull(fc, one); err != nil {
+		t.Fatal(err)
+	}
+	if one[0] != 0x03 {
+		t.Fatalf("count=1 rule kept firing: % x", one)
+	}
+	fc.Close()
+}

@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// WrapTransport threads a network fault point through an HTTP transport.
+// Each round trip hits the point with scope "host/path" (so a scenario
+// can target one replica, one route, or one replica's route). Disarmed,
+// the wrapper is one atomic load ahead of the inner transport.
+//
+// Actions: delay sleeps before dialing (respecting the request context —
+// a per-route deadline turns a long delay into a clean timeout); drop
+// black-holes the request until its context expires (requests without a
+// deadline get the injected reset instead of hanging forever); error and
+// reset fail the round trip outright.
+func WrapTransport(point string, inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &transport{point: point, inner: inner}
+}
+
+type transport struct {
+	point string
+	inner http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !Armed() {
+		return t.inner.RoundTrip(req)
+	}
+	out := Hit(t.point, req.URL.Host+req.URL.Path)
+	if out.Panic {
+		panic(fmt.Sprintf("faults: injected panic at %s", t.point))
+	}
+	ctx := req.Context()
+	if out.Delay > 0 {
+		timer := time.NewTimer(out.Delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	if out.Drop {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			return nil, fmt.Errorf("%w: dropped request to %s", ErrInjected, req.URL.Host)
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if out.Err != nil {
+		return nil, out.Err
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// WrapConn threads fault points through a network connection; reads hit
+// "<point>.read" and writes "<point>.write", both with the given scope.
+// Actions: delay sleeps before the I/O; corrupt flips the top bit of the
+// first byte moved (a framed peer sees a CRC mismatch); reset/error close
+// the connection and fail the call; drop closes it silently (the peer
+// observes a cut mid-frame).
+func WrapConn(point, scope string, c net.Conn) net.Conn {
+	return &conn{Conn: c, point: point, scope: scope}
+}
+
+type conn struct {
+	net.Conn
+	point, scope string
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if !Armed() {
+		return c.Conn.Read(p)
+	}
+	out := Hit(c.point+".read", c.scope)
+	if out.Delay > 0 {
+		time.Sleep(out.Delay)
+	}
+	switch {
+	case out.Err != nil:
+		c.Conn.Close()
+		return 0, out.Err
+	case out.Drop:
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection dropped", ErrInjected)
+	case out.Corrupt:
+		n, err := c.Conn.Read(p)
+		if n > 0 {
+			p[0] ^= 0x80
+		}
+		return n, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if !Armed() {
+		return c.Conn.Write(p)
+	}
+	out := Hit(c.point+".write", c.scope)
+	if out.Delay > 0 {
+		time.Sleep(out.Delay)
+	}
+	switch {
+	case out.Err != nil:
+		// A short-write rule cuts the frame mid-payload before the close —
+		// the torn-frame-on-the-wire shape.
+		n := 0
+		if out.Short > 0 && out.Short < len(p) {
+			n, _ = c.Conn.Write(p[:out.Short])
+		}
+		c.Conn.Close()
+		return n, out.Err
+	case out.Drop:
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection dropped", ErrInjected)
+	case out.Corrupt:
+		if len(p) > 0 {
+			// Corrupt a copy: the caller's buffer may be reused.
+			q := make([]byte, len(p))
+			copy(q, p)
+			q[0] ^= 0x80
+			return c.Conn.Write(q)
+		}
+	}
+	return c.Conn.Write(p)
+}

@@ -4,13 +4,16 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/url"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/statestore"
 )
 
@@ -35,16 +38,17 @@ const (
 type Follower struct {
 	st *statestore.Store
 
-	mu         sync.Mutex
-	primary    string
-	epoch      string
-	lastSeq    int64 // highest applied sequence number under epoch
-	conn       net.Conn
-	connected  bool
-	promoted   bool
-	lastErr    string
-	bootstraps int64
-	reconnects int64
+	mu            sync.Mutex
+	primary       string
+	epoch         string
+	lastSeq       int64 // highest applied sequence number under epoch
+	conn          net.Conn
+	connected     bool
+	promoted      bool
+	lastErr       string
+	bootstraps    int64
+	reconnects    int64
+	corruptFrames int64
 
 	promoteCh   chan struct{}
 	stopCh      chan struct{}
@@ -65,6 +69,10 @@ type FollowerStatus struct {
 	LastErr    string `json:"last_err,omitempty"`
 	Bootstraps int64  `json:"bootstraps"`
 	Reconnects int64  `json:"reconnects"`
+	// CorruptFrames counts frames rejected for a CRC mismatch or a
+	// mid-frame cut; each one dropped the connection and cleared the
+	// epoch so the next session re-bootstraps from a trusted snapshot.
+	CorruptFrames int64 `json:"corrupt_frames,omitempty"`
 }
 
 // NewFollower prepares a follower applying into st. primary may be ""
@@ -95,6 +103,7 @@ func (f *Follower) Status() FollowerStatus {
 		Primary: f.primary, Connected: f.connected, Promoted: f.promoted,
 		Epoch: f.epoch, LastSeq: f.lastSeq, LastErr: f.lastErr,
 		Bootstraps: f.bootstraps, Reconnects: f.reconnects,
+		CorruptFrames: f.corruptFrames,
 	}
 }
 
@@ -207,6 +216,15 @@ func (f *Follower) run() {
 		f.mu.Lock()
 		f.conn = nil
 		f.connected = false
+		if errors.Is(err, ErrFrameCorrupt) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, errFrameTooLarge) {
+			// A corrupt or torn frame means the stream position cannot be
+			// trusted: resuming the tail at lastSeq+1 could re-apply or skip
+			// records. Dropping the epoch makes the next subscribe look
+			// stale, which forces the primary to re-bootstrap us from a
+			// consistent snapshot.
+			f.corruptFrames++
+			f.epoch = ""
+		}
 		f.mu.Unlock()
 		conn.Close()
 		if applied > 0 {
@@ -370,6 +388,10 @@ func dialSubscribe(primary, epoch string, seq int64) (net.Conn, *bufio.Reader, *
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	// The fault layer sits under the buffered reader/writer so injected
+	// corruption and drops hit the raw framed bytes, exactly like a bad
+	// link would.
+	conn = faults.WrapConn("repl.conn", primary, conn)
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	fmt.Fprintf(w, "POST /replicate/subscribe HTTP/1.1\r\nHost: %s\r\nContent-Length: 0\r\nConnection: Upgrade\r\nUpgrade: %s\r\n\r\n",

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -35,7 +36,10 @@ import (
 const UpgradeProtocol = "pp-replicate"
 
 // Frame types. Each frame is [1B type][4B little-endian payload length]
-// [payload].
+// [payload][4B little-endian CRC-32 (IEEE) over type+length+payload].
+// The trailer lets either side detect a flipped bit on the wire instead
+// of applying a corrupted record; a mismatch surfaces as ErrFrameCorrupt
+// and the follower drops the connection and re-bootstraps.
 const (
 	// fSubscribe (follower→primary) opens a session: a JSON subscribe
 	// payload naming the last seen epoch, the first wanted sequence
@@ -72,6 +76,14 @@ const maxFramePayload = 64 << 20
 
 var errFrameTooLarge = errors.New("replication: frame exceeds size limit")
 
+// ErrFrameCorrupt reports a frame whose CRC trailer does not match its
+// bytes. The connection cannot be trusted past this point — the reader's
+// position within the stream may be wrong — so the follower closes it and
+// forces a fresh bootstrap.
+var ErrFrameCorrupt = errors.New("replication: frame CRC mismatch")
+
+var crcTable = crc32.IEEETable
+
 // Arc is a closed interval [Lo, Hi] of the 32-bit key-hash ring, matching
 // the server's transfer arcs (wrapping ranges are split by the caller).
 type Arc struct {
@@ -103,17 +115,36 @@ type hello struct {
 	Epoch string `json:"epoch"`
 }
 
-// frameWriter frames outbound messages onto one buffered writer.
+// frameWriter frames outbound messages onto one buffered writer, keeping
+// a running CRC from the frame header through the payload so the trailer
+// costs no extra pass over the bytes.
 type frameWriter struct {
 	w       *bufio.Writer
 	scratch []byte
+	crc     uint32
 }
 
 func (fw *frameWriter) frame(typ byte, payloadLen int) error {
 	var hdr [5]byte
 	hdr[0] = typ
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(payloadLen))
+	fw.crc = crc32.Update(0, crcTable, hdr[:])
 	_, err := fw.w.Write(hdr[:])
+	return err
+}
+
+// body writes payload bytes, folding them into the frame's CRC.
+func (fw *frameWriter) body(p []byte) error {
+	fw.crc = crc32.Update(fw.crc, crcTable, p)
+	_, err := fw.w.Write(p)
+	return err
+}
+
+// trailer closes the frame with the accumulated CRC.
+func (fw *frameWriter) trailer() error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], fw.crc)
+	_, err := fw.w.Write(b[:])
 	return err
 }
 
@@ -125,8 +156,10 @@ func (fw *frameWriter) writeJSON(typ byte, v any) error {
 	if err := fw.frame(typ, len(payload)); err != nil {
 		return err
 	}
-	_, err = fw.w.Write(payload)
-	return err
+	if err := fw.body(payload); err != nil {
+		return err
+	}
+	return fw.trailer()
 }
 
 // writeRecord frames one tail record.
@@ -140,11 +173,13 @@ func (fw *frameWriter) writeRecord(seq int64, op byte, key string, val []byte) e
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(key)))
 	b = append(b, key...)
 	fw.scratch = b
-	if _, err := fw.w.Write(b); err != nil {
+	if err := fw.body(b); err != nil {
 		return err
 	}
-	_, err := fw.w.Write(val)
-	return err
+	if err := fw.body(val); err != nil {
+		return err
+	}
+	return fw.trailer()
 }
 
 // writeBootEntry frames one bootstrapped state.
@@ -156,11 +191,13 @@ func (fw *frameWriter) writeBootEntry(key string, stored []byte) error {
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(key)))
 	b = append(b, key...)
 	fw.scratch = b
-	if _, err := fw.w.Write(b); err != nil {
+	if err := fw.body(b); err != nil {
 		return err
 	}
-	_, err := fw.w.Write(stored)
-	return err
+	if err := fw.body(stored); err != nil {
+		return err
+	}
+	return fw.trailer()
 }
 
 // writeSeq frames a bare-sequence message (fBootEnd, fAck).
@@ -170,8 +207,10 @@ func (fw *frameWriter) writeSeq(typ byte, seq int64) error {
 	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(seq))
-	_, err := fw.w.Write(b[:])
-	return err
+	if err := fw.body(b[:]); err != nil {
+		return err
+	}
+	return fw.trailer()
 }
 
 // writeHeartbeat frames an idle heartbeat.
@@ -182,11 +221,14 @@ func (fw *frameWriter) writeHeartbeat(seq, clock int64) error {
 	var b [16]byte
 	binary.LittleEndian.PutUint64(b[:8], uint64(seq))
 	binary.LittleEndian.PutUint64(b[8:], uint64(clock))
-	_, err := fw.w.Write(b[:])
-	return err
+	if err := fw.body(b[:]); err != nil {
+		return err
+	}
+	return fw.trailer()
 }
 
-// readFrame reads one frame, reusing buf when it is large enough.
+// readFrame reads one frame, reusing buf when it is large enough, and
+// verifies the CRC trailer before handing the payload back.
 func readFrame(r *bufio.Reader, buf []byte) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -202,6 +244,15 @@ func readFrame(r *bufio.Reader, buf []byte) (typ byte, payload []byte, err error
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return 0, nil, err
+	}
+	var tb [4]byte
+	if _, err := io.ReadFull(r, tb[:]); err != nil {
+		return 0, nil, err
+	}
+	crc := crc32.Update(0, crcTable, hdr[:])
+	crc = crc32.Update(crc, crcTable, buf)
+	if binary.LittleEndian.Uint32(tb[:]) != crc {
+		return 0, nil, fmt.Errorf("%w (type %d, %d bytes)", ErrFrameCorrupt, hdr[0], n)
 	}
 	return hdr[0], buf, nil
 }

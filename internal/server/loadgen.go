@@ -98,6 +98,17 @@ type LoadOptions struct {
 	// Flush POSTs /flush after the replay (inside the timed window — the
 	// drain is part of the served work).
 	Flush bool
+	// RetryFailed re-sends an event post that failed in transit or came
+	// back 5xx up to this many times before advancing (0 = fail fast and
+	// drop the batch, the historical behavior). Retries happen in place,
+	// so a user's event order is preserved — that is what keeps "zero
+	// lost states" reachable while the cluster rides out a failover or a
+	// breaker-open window. Shed (429) batches are never retried: shedding
+	// is the server's explicit choice, not a fault.
+	RetryFailed int
+	// RetryBackoff is the pause between event-post retries (<=0 selects
+	// 50ms).
+	RetryBackoff time.Duration
 	// Client overrides the HTTP client (nil selects a pooled default).
 	Client *http.Client
 }
@@ -126,13 +137,19 @@ type LoadReport struct {
 	// Shed counts shed *events* (a 429 event post sheds its whole batch);
 	// PredictsShed counts shed predict *requests* — different units, so
 	// they are reported separately.
-	Shed           int          `json:"shed"`
-	PredictsShed   int          `json:"predicts_shed"`
-	Errors         int          `json:"errors"`
-	WallMs         float64      `json:"wall_ms"`
-	SessionsPerSec float64      `json:"sessions_per_sec"`
-	EventLatency   LatencyStats `json:"event_latency"`
-	PredictLatency LatencyStats `json:"predict_latency"`
+	Shed         int `json:"shed"`
+	PredictsShed int `json:"predicts_shed"`
+	Errors       int `json:"errors"`
+	// Retries counts event-post re-sends (RetryFailed > 0); a batch that
+	// eventually lands after retries is not an error. DegradedPredicts
+	// counts 200 predict responses that carried the degraded flag — the
+	// router answered from a non-owner replica while the owner was down.
+	Retries          int          `json:"retries,omitempty"`
+	DegradedPredicts int          `json:"degraded_predicts,omitempty"`
+	WallMs           float64      `json:"wall_ms"`
+	SessionsPerSec   float64      `json:"sessions_per_sec"`
+	EventLatency     LatencyStats `json:"event_latency"`
+	PredictLatency   LatencyStats `json:"predict_latency"`
 }
 
 // loadWorker drives one connection's share of the log.
@@ -149,6 +166,8 @@ type loadWorker struct {
 	shed         int // events shed via 429
 	predictsShed int // predict requests shed via 429
 	errors       int
+	retries      int // event-post re-sends under RetryFailed
+	degraded     int // 200 predicts answered degraded by the router
 }
 
 // RunLoad replays log over the HTTP API and reports throughput and latency.
@@ -227,6 +246,8 @@ func RunLoad(opts LoadOptions, log []ReplayEvent) (*LoadReport, error) {
 		rep.Shed += w.shed
 		rep.PredictsShed += w.predictsShed
 		rep.Errors += w.errors
+		rep.Retries += w.retries
+		rep.DegradedPredicts += w.degraded
 		evLat = append(evLat, w.eventLat...)
 		prLat = append(prLat, w.predictLat...)
 	}
@@ -234,6 +255,7 @@ func RunLoad(opts LoadOptions, log []ReplayEvent) (*LoadReport, error) {
 		rep.Predicts += sampler.predicts
 		rep.PredictsShed += sampler.predictsShed
 		rep.Errors += sampler.errors
+		rep.DegradedPredicts += sampler.degraded
 		prLat = append(prLat, sampler.predictLat...)
 	}
 	rep.SessionsPerSec = float64(rep.SessionsAccepted) / wall.Seconds()
@@ -308,24 +330,45 @@ func (w *loadWorker) postEvents(evs []Event) {
 		}
 	}
 	body, _ := json.Marshal(evs)
-	t0 := time.Now()
-	resp, err := w.client.Post(w.opts.BaseURL+"/event", "application/json", bytes.NewReader(body))
-	lat := float64(time.Since(t0).Nanoseconds()) / 1e6
-	w.posts++
-	if err != nil {
-		w.errors++
-		return
+	backoff := w.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
 	}
-	resp.Body.Close()
-	w.eventLat = append(w.eventLat, lat)
-	switch {
-	case resp.StatusCode == http.StatusAccepted:
-		w.events += len(evs)
-		w.sessionsOK += starts
-	case resp.StatusCode == http.StatusTooManyRequests:
-		w.shed += len(evs)
-	default:
-		w.errors++
+	// Retry in place: the same batch is re-sent until it is accepted, shed,
+	// or the budget runs out. Because the worker does not advance past a
+	// failed batch, a user's events still reach the server in timestamp
+	// order even when some posts ride out a failover window.
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		resp, err := w.client.Post(w.opts.BaseURL+"/event", "application/json", bytes.NewReader(body))
+		lat := float64(time.Since(t0).Nanoseconds()) / 1e6
+		w.posts++
+		retryable := false
+		if err != nil {
+			retryable = true
+		} else {
+			w.eventLat = append(w.eventLat, lat)
+			switch {
+			case resp.StatusCode == http.StatusAccepted:
+				resp.Body.Close()
+				w.events += len(evs)
+				w.sessionsOK += starts
+				return
+			case resp.StatusCode == http.StatusTooManyRequests:
+				resp.Body.Close()
+				w.shed += len(evs)
+				return
+			default:
+				retryable = resp.StatusCode >= 500
+				resp.Body.Close()
+			}
+		}
+		if !retryable || attempt >= w.opts.RetryFailed {
+			w.errors++
+			return
+		}
+		w.retries++
+		time.Sleep(backoff)
 	}
 }
 
@@ -338,16 +381,20 @@ func (w *loadWorker) postPredict(ev ReplayEvent) {
 		w.errors++
 		return
 	}
-	resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		w.predicts++
 		w.predictLat = append(w.predictLat, lat)
+		var out PredictOut
+		if json.NewDecoder(resp.Body).Decode(&out) == nil && out.Degraded {
+			w.degraded++
+		}
 	case resp.StatusCode == http.StatusTooManyRequests:
 		w.predictsShed++
 	default:
 		w.errors++
 	}
+	resp.Body.Close()
 }
 
 // summarize sorts latencies and extracts the histogram quantiles using the

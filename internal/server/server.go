@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/replication"
 	"repro/internal/serving"
 	"repro/internal/statestore"
@@ -60,10 +61,14 @@ type PredictIn struct {
 	Cat  []int `json:"cat,omitempty"`
 }
 
-// PredictOut is the POST /predict response body.
+// PredictOut is the POST /predict response body. Degraded is set by the
+// router when the owning replica was unreachable and the answer came from
+// a fallback replica's (possibly stale, possibly cold-start) state — the
+// paper's graceful-degradation contract: a usable prediction beats a 5xx.
 type PredictOut struct {
 	Probability float64 `json:"probability"`
 	Precompute  bool    `json:"precompute"`
+	Degraded    bool    `json:"degraded,omitempty"`
 }
 
 // Statz is the GET /statz response body.
@@ -538,6 +543,10 @@ func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if err := faults.Fire("server.event", ""); err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
@@ -606,6 +615,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if err := faults.Fire("server.predict", ""); err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	var in PredictIn
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&in); err != nil {
 		writeErr(w, http.StatusBadRequest, "decoding request: "+err.Error())
@@ -648,6 +661,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if err := faults.Fire("server.flush", ""); err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	s.mu.Lock()

@@ -1,0 +1,153 @@
+package statestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// WAL write-error coverage: an injected ENOSPC or short write at Put or
+// Snapshot must (1) surface through Store.Err — never silent loss — and
+// (2) leave the directory reopenable with every record appended before
+// the failure intact.
+
+func faultPut(s *Store, i int) { s.Put(fmt.Sprintf("user/%d/h", i), []byte{byte(i), 0x10, 0x20}) }
+
+func checkRecovered(t *testing.T, s *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		got, ok := s.Get(fmt.Sprintf("user/%d/h", i))
+		if !ok {
+			t.Fatalf("key %d lost after reopen", i)
+		}
+		if want := []byte{byte(i), 0x10, 0x20}; !bytes.Equal(got, want) {
+			t.Fatalf("key %d corrupted: got % x want % x", i, got, want)
+		}
+	}
+}
+
+func TestPutWALWriteErrorSurfacesAndReopens(t *testing.T) {
+	defer faults.Disarm()
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		faultPut(s, i)
+	}
+	if err := faults.Arm(&faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Point: "statestore.wal.write", Match: dir, Action: faults.ActError, Err: "enospc"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	faultPut(s, 10)
+	if serr := s.Err(); !errors.Is(serr, syscall.ENOSPC) || !errors.Is(serr, faults.ErrInjected) {
+		t.Fatalf("ENOSPC not surfaced: %v", serr)
+	}
+	faults.Disarm()
+	// The log is frozen at its last good prefix: later puts stay
+	// memory-only (the error is already reported) rather than appending
+	// after a potentially torn frame.
+	faultPut(s, 11)
+	if cerr := s.Close(); !errors.Is(cerr, syscall.ENOSPC) {
+		t.Fatalf("Close did not return the first I/O error: %v", cerr)
+	}
+
+	r, err := Open(Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatalf("reopen after injected ENOSPC: %v", err)
+	}
+	defer r.Close()
+	checkRecovered(t, r, 10)
+	// The failing put and everything after it never reached disk — that
+	// is the reported (not silent) loss window.
+	if _, ok := r.Get("user/10/h"); ok {
+		t.Fatal("the failed append reached disk")
+	}
+	if r.Err() != nil {
+		t.Fatalf("reopened store starts dirty: %v", r.Err())
+	}
+}
+
+func TestPutWALShortWriteTornTailRecovers(t *testing.T) {
+	defer faults.Disarm()
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		faultPut(s, i)
+	}
+	// One short write: 7 bytes of the frame land, then io.ErrShortWrite.
+	if err := faults.Arm(&faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Point: "statestore.wal.write", Match: dir, Action: faults.ActShortWrite, Short: 7, Count: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	faultPut(s, 10)
+	if s.Err() == nil {
+		t.Fatal("short write not surfaced")
+	}
+	faults.Disarm()
+	s.Close() //pplint:allow walerrcheck (the injected error was already asserted above)
+
+	r, err := Open(Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer r.Close()
+	checkRecovered(t, r, 10)
+	if _, ok := r.Get("user/10/h"); ok {
+		t.Fatal("torn frame replayed as a record")
+	}
+	if r.Lifecycle().TornTailBytes == 0 {
+		t.Fatal("recovery did not report the truncated torn tail")
+	}
+}
+
+func TestSnapshotWriteErrorKeepsEveryRecord(t *testing.T) {
+	defer faults.Disarm()
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		faultPut(s, i)
+	}
+	if err := faults.Arm(&faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Point: "statestore.snap.write", Match: dir, Action: faults.ActError, Err: "enospc", Count: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if serr := s.Snapshot(); !errors.Is(serr, syscall.ENOSPC) {
+		t.Fatalf("snapshot error not surfaced: %v", serr)
+	}
+	faults.Disarm()
+	// The WAL rotated before the failed scan: wal.old.log still holds
+	// every record, and puts keep landing on the fresh log.
+	for i := 20; i < 25; i++ {
+		faultPut(s, i)
+	}
+	s.Close() //pplint:allow walerrcheck (the injected error was already asserted above)
+
+	r, err := Open(Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatalf("reopen after failed snapshot: %v", err)
+	}
+	defer r.Close()
+	checkRecovered(t, r, 25)
+	if r.Err() != nil {
+		t.Fatalf("reopened store starts dirty: %v", r.Err())
+	}
+	// Compaction works again once space is back.
+	if err := r.Snapshot(); err != nil {
+		t.Fatalf("snapshot after recovery: %v", err)
+	}
+}

@@ -6,8 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/faults"
 )
 
 // Durability layout (single-process, like the Redis analogue it models):
@@ -139,12 +142,30 @@ func openWAL(dir string) (*wal, error) {
 	return w, nil
 }
 
+// write lands one framed batch on the live log through the
+// "statestore.wal.write" fault point (scope: the store directory). The
+// disabled check is a single atomic load, so the pinned zero-allocation
+// Put path is untouched; armed, a rule can fail the write outright
+// (ENOSPC) or cut it short — the torn-tail shape recovery must survive.
+func (w *wal) write(p []byte) (int, error) {
+	if faults.Armed() {
+		if out := faults.Hit("statestore.wal.write", w.dir); out.Err != nil {
+			n := 0
+			if out.Short > 0 && out.Short < len(p) {
+				n, _ = w.f.Write(p[:out.Short]) //pplint:allow walerrcheck (injected torn tail: the injected error is returned)
+			}
+			return n, out.Err
+		}
+	}
+	return w.f.Write(p)
+}
+
 func (w *wal) append(op byte, key string, val []byte) error {
 	if w.failed {
 		return nil // already reported; keep the torn tail at the tail
 	}
 	w.buf = appendRecord(w.buf, op, key, val)
-	n, err := w.f.Write(w.buf)
+	n, err := w.write(w.buf)
 	w.size += int64(n)
 	w.records++
 	w.bytes += int64(n)
@@ -168,7 +189,7 @@ func (w *wal) appendDeletes(keys []string) error {
 		frames = append(frames, frame...)
 	}
 	w.buf = frames
-	n, err := w.f.Write(frames)
+	n, err := w.write(frames)
 	w.size += int64(n)
 	w.records += int64(len(keys))
 	w.bytes += int64(n)
@@ -273,6 +294,10 @@ func writeSnapshot(dir string, clock int64, scan func(emit func(key string, val 
 		return err
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
+	// Snapshot writes cross the "statestore.snap.write" fault point above
+	// the buffer: an armed error aborts the snapshot (tmp removed, wal.old
+	// retained), which recovery must absorb without losing a record.
+	out := snapFaultWriter{w: bw, dir: dir}
 	var buf []byte
 	// The clock record leads the snapshot: recovery must never compute an
 	// idle horizon from a clock older than the one the snapshotting store
@@ -283,14 +308,14 @@ func writeSnapshot(dir string, clock int64, scan func(emit func(key string, val 
 	var ts [8]byte
 	binary.LittleEndian.PutUint64(ts[:], uint64(clock))
 	buf = appendRecord(buf, opClock, "", ts[:])
-	if _, err := bw.Write(buf); err != nil {
+	if _, err := out.Write(buf); err != nil {
 		f.Close()      //pplint:allow walerrcheck (cleanup: the write error is returned)
 		os.Remove(tmp) //pplint:allow walerrcheck (cleanup: the tmp is recreated with O_TRUNC next attempt)
 		return err
 	}
 	err = scan(func(key string, val []byte) error {
 		buf = appendRecord(buf, opPut, key, val)
-		_, werr := bw.Write(buf)
+		_, werr := out.Write(buf)
 		return werr
 	})
 	if err == nil {
@@ -307,6 +332,27 @@ func writeSnapshot(dir string, clock int64, scan func(emit func(key string, val 
 		return err
 	}
 	return os.Rename(tmp, filepath.Join(dir, snapName))
+}
+
+// snapFaultWriter is the snapshot-side injection seam: each record write
+// consults "statestore.snap.write" (scope: the store directory) before
+// reaching the buffered file.
+type snapFaultWriter struct {
+	w   io.Writer
+	dir string
+}
+
+func (sw snapFaultWriter) Write(p []byte) (int, error) {
+	if faults.Armed() {
+		if out := faults.Hit("statestore.snap.write", sw.dir); out.Err != nil {
+			n := 0
+			if out.Short > 0 && out.Short < len(p) {
+				n, _ = sw.w.Write(p[:out.Short]) //pplint:allow walerrcheck (injected torn write: the injected error is returned)
+			}
+			return n, out.Err
+		}
+	}
+	return sw.w.Write(p)
 }
 
 // loadSnapshot feeds every snapshot record to apply and returns the
