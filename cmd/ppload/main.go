@@ -12,9 +12,15 @@
 // ordering contract under which the server's stored states are
 // byte-identical to sequential in-process replay.
 //
+// With -wire HOST:PORT the hot path (events, predicts) rides the binary
+// wire protocol over persistent pooled connections while the control plane
+// (/flush, /digest, /statz) stays on -addr over HTTP — same sharding, same
+// ordering contract, so the digest parity gate applies unchanged.
+//
 // Usage:
 //
 //	ppload -addr http://127.0.0.1:8080 -users 500 -concurrency 8
+//	ppload -addr http://127.0.0.1:8080 -wire 127.0.0.1:9080 -users 500
 //	ppload -data mobiletab.ppds -rate 2000 -predict-every 4
 //	ppload -users 120 -seed 7 -expect-digest $(ppserve -users 120 -seed 7 -digest | awk '/state digest/{print $3}')
 //	ppload -users 500 -out BENCH_server.json
@@ -36,6 +42,7 @@ import (
 func main() {
 	var (
 		addr          = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		wireAddr      = flag.String("wire", "", "drive events and predicts over the binary wire protocol at this host:port (control plane stays on -addr)")
 		users         = flag.Int("users", 400, "cohort size to regenerate (must match the server's -users)")
 		seed          = flag.Uint64("seed", 1, "cohort seed (must match the server's -seed)")
 		data          = flag.String("data", "", "replay a ppgen dataset file instead of regenerating the cohort")
@@ -112,14 +119,18 @@ func main() {
 		Flush:         *doFlush,
 		RetryFailed:   *retry,
 		RetryBackoff:  *retryBackoff,
+		WireAddr:      *wireAddr,
+	}
+	if *wireAddr != "" {
+		fmt.Printf("hot path over wire protocol at %s\n", *wireAddr)
 	}
 	rep, err := server.RunLoad(opts, log)
 	if err != nil {
 		fail("%v", err)
 	}
 
-	fmt.Printf("\n%d sessions (%d events in %d posts) in %.0fms — %.0f sessions/s\n",
-		rep.Sessions, rep.Events, rep.Posts, rep.WallMs, rep.SessionsPerSec)
+	fmt.Printf("\n%d sessions (%d events in %d posts, %.1f events/post) in %.0fms — %.0f sessions/s\n",
+		rep.Sessions, rep.Events, rep.Posts, rep.EventsPerPostMean, rep.WallMs, rep.SessionsPerSec)
 	fmt.Printf("shed: %d events, %d predicts  errors: %d\n", rep.Shed, rep.PredictsShed, rep.Errors)
 	if rep.Retries > 0 || rep.DegradedPredicts > 0 {
 		fmt.Printf("resilience: %d event-post retries, %d degraded predicts (answered by a non-owner replica)\n",
@@ -162,6 +173,7 @@ func main() {
 			SchemaVersion int                `json:"schema_version"`
 			GeneratedAt   string             `json:"generated_at"`
 			Addr          string             `json:"addr"`
+			WireAddr      string             `json:"wire_addr,omitempty"`
 			Concurrency   int                `json:"concurrency"`
 			EventsPerPost int                `json:"events_per_post"`
 			PredictEvery  int                `json:"predict_every"`
@@ -175,6 +187,7 @@ func main() {
 			SchemaVersion: 1,
 			GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 			Addr:          *addr,
+			WireAddr:      *wireAddr,
 			Concurrency:   *concurrency,
 			EventsPerPost: *eventsPerPost,
 			PredictEvery:  *predictEvery,

@@ -13,10 +13,19 @@
 // over with zero unexpected cold starts. GET /ring describes the current
 // assignment.
 //
+// With -wire-listen the router also accepts the binary wire protocol on a
+// second listener and, for replicas named in -wire-replicas, forwards the
+// hot path over pooled wire connections — splicing inbound event batches
+// into per-owner byte ranges instead of re-marshalling JSON. Control-plane
+// traffic stays on HTTP either way.
+//
 // Usage:
 //
 //	pprouter -listen 127.0.0.1:8090 \
 //	  -replicas http://127.0.0.1:8101,http://127.0.0.1:8102,http://127.0.0.1:8103
+//	pprouter -listen 127.0.0.1:8090 -wire-listen 127.0.0.1:9090 \
+//	  -replicas http://127.0.0.1:8101,http://127.0.0.1:8102 \
+//	  -wire-replicas 127.0.0.1:9101,127.0.0.1:9102
 //	ppload -addr http://127.0.0.1:8090 -users 500
 package main
 
@@ -24,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,15 +48,17 @@ import (
 
 func main() {
 	var (
-		listen      = flag.String("listen", "127.0.0.1:8090", "router listen address")
-		replicas    = flag.String("replicas", "", "comma-separated replica base URLs (required)")
-		vnodes      = flag.Int("vnodes", 0, "virtual nodes per replica (0 = default)")
-		waitHealthy = flag.Duration("wait-healthy", 60*time.Second, "wait this long for every replica's /healthz before serving (0 = don't wait)")
-		followers   = flag.String("followers", "", "comma-separated primary=follower base-URL pairs for failover")
-		spares      = flag.String("spares", "", "comma-separated standby follower base URLs for re-replication after a failover")
-		probeIval   = flag.Duration("probe-interval", 0, "health-probe period; > 0 enables the prober and automatic failover")
-		probeTO     = flag.Duration("probe-timeout", time.Second, "per-probe HTTP timeout")
-		probeFails  = flag.Int("probe-fails", 3, "consecutive probe failures before a replica is declared dead")
+		listen       = flag.String("listen", "127.0.0.1:8090", "router listen address")
+		replicas     = flag.String("replicas", "", "comma-separated replica base URLs (required)")
+		wireListen   = flag.String("wire-listen", "", "also accept the binary wire protocol (hot event/predict path) on this address")
+		wireReplicas = flag.String("wire-replicas", "", "comma-separated replica wire addresses aligned with -replicas (empty entries fall back to HTTP); requires -wire-listen")
+		vnodes       = flag.Int("vnodes", 0, "virtual nodes per replica (0 = default)")
+		waitHealthy  = flag.Duration("wait-healthy", 60*time.Second, "wait this long for every replica's /healthz before serving (0 = don't wait)")
+		followers    = flag.String("followers", "", "comma-separated primary=follower base-URL pairs for failover")
+		spares       = flag.String("spares", "", "comma-separated standby follower base URLs for re-replication after a failover")
+		probeIval    = flag.Duration("probe-interval", 0, "health-probe period; > 0 enables the prober and automatic failover")
+		probeTO      = flag.Duration("probe-timeout", time.Second, "per-probe HTTP timeout")
+		probeFails   = flag.Int("probe-fails", 3, "consecutive probe failures before a replica is declared dead")
 
 		dataTO     = flag.Duration("data-timeout", 0, "per-forward deadline for /event and /predict (0 = 10s default)")
 		controlTO  = flag.Duration("control-timeout", 0, "per-forward deadline for /flush, /export, /import and other control calls (0 = 2m default)")
@@ -71,6 +83,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pprouter: -replicas must list at least one URL and -vnodes must be >= 0")
 		os.Exit(2)
 	}
+	// -wire-replicas is positional against -replicas so an operator cannot
+	// mis-pair a wire address with the wrong replica URL. Entries may be
+	// empty ("addr1,,addr3"): that replica is reached over HTTP instead.
+	wireAddrs := map[string]string{}
+	if *wireReplicas != "" {
+		if *wireListen == "" {
+			fmt.Fprintln(os.Stderr, "pprouter: -wire-replicas requires -wire-listen")
+			os.Exit(2)
+		}
+		parts := strings.Split(*wireReplicas, ",")
+		if len(parts) != len(urls) {
+			fmt.Fprintf(os.Stderr, "pprouter: -wire-replicas lists %d addresses for %d replicas\n", len(parts), len(urls))
+			os.Exit(2)
+		}
+		for i, w := range parts {
+			if w = strings.TrimSpace(w); w != "" {
+				wireAddrs[urls[i]] = w
+			}
+		}
+	}
+
 	followerOf := map[string]string{}
 	for _, pair := range splitURLs(*followers) {
 		primary, follower, ok := strings.Cut(pair, "=")
@@ -108,6 +141,7 @@ func main() {
 		PredictRetries:  *predictRet,
 		BreakerFails:    *brkFails,
 		BreakerCooldown: *brkCool,
+		WireAddrs:       wireAddrs,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pprouter: %v\n", err)
@@ -142,8 +176,23 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "pprouter: shutdown: %v\n", err)
 		}
+		router.CloseWire()
 		router.StopProber()
 	}()
+
+	if *wireListen != "" {
+		wl, err := net.Listen("tcp", *wireListen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprouter: -wire-listen: %v\n", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := router.ServeWire(wl); err != nil {
+				fmt.Fprintf(os.Stderr, "pprouter: wire listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("wire protocol on %s (%d replicas reachable over wire)\n", wl.Addr(), len(wireAddrs))
+	}
 
 	fmt.Printf("routing %d replicas on %s (vnodes=%d)\n", len(urls), *listen, router.Ring().VNodes())
 	for i, u := range urls {

@@ -12,6 +12,9 @@
 // concurrent finalisations into the batched GEMM path (flush on -max-batch
 // or -max-wait). SIGTERM shuts down gracefully: in-flight work drains and
 // the statestore takes a final snapshot. Drive it with cmd/ppload.
+// -wire-addr ADDR additionally serves the hot event/predict path over the
+// binary wire protocol (internal/wire) on a second listener; the HTTP API
+// keeps serving everything else.
 //
 // With -workers > 1 the replay runs through the concurrent serving path:
 // a sharded KV store, a worker-pool stream processor (per-user lanes keep
@@ -36,6 +39,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -63,6 +67,7 @@ type flagSet struct {
 	evictAfter              time.Duration
 	memBudget               int64
 	serve                   string
+	wireAddr                string
 	maxBatch, laneDepth     int
 	maxWait                 time.Duration
 	replicaOf               string
@@ -131,7 +136,7 @@ func (f flagSet) validate() error {
 			add("-batch is a replay-mode flag; server-mode predict batching uses -max-batch")
 		}
 	} else {
-		for _, name := range []string{"max-batch", "max-wait", "lane-depth", "replica-of", "follow"} {
+		for _, name := range []string{"max-batch", "max-wait", "lane-depth", "replica-of", "follow", "wire-addr"} {
 			if f.set[name] {
 				add("-" + name + " is a server-mode flag; it has no effect without -serve")
 			}
@@ -172,6 +177,7 @@ func main() {
 		digest     = flag.Bool("digest", false, "print the SHA-256 digest of the final hidden states (the HTTP parity gate compares it against the server's /digest)")
 
 		serveAddr = flag.String("serve", "", "run as an online HTTP server on this address (e.g. :8080) instead of replaying in-process")
+		wireAddr  = flag.String("wire-addr", "", "also serve the binary wire protocol (hot event/predict path) on this address; requires -serve")
 		maxBatch  = flag.Int("max-batch", 32, "server micro-batch flush size (finalise and predict)")
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "server micro-batch flush deadline (0 = greedy flush, no waiting)")
 		laneDepth = flag.Int("lane-depth", 256, "server per-lane finalisation queue bound (full queues shed events with 429)")
@@ -196,7 +202,8 @@ func main() {
 		inferBatch: *inferBatch,
 		threshold:  *threshold, restartAfter: *restartAfter,
 		persist: *persist, evictAfter: *evictAfter, memBudget: *memBudget,
-		serve: *serveAddr, maxBatch: *maxBatch, maxWait: *maxWait, laneDepth: *laneDepth,
+		serve: *serveAddr, wireAddr: *wireAddr,
+		maxBatch: *maxBatch, maxWait: *maxWait, laneDepth: *laneDepth,
 		replicaOf: *replicaOf, follow: *follow,
 		cpuprofile: *cpuprofile, memprofile: *memprofile,
 		set: map[string]bool{},
@@ -275,6 +282,7 @@ func main() {
 			digest:    *digest,
 			replicaOf: *replicaOf,
 			follow:    *follow,
+			wireAddr:  *wireAddr,
 		})
 		return
 	}
@@ -547,6 +555,7 @@ type serverConfig struct {
 	digest                     bool
 	replicaOf                  string
 	follow                     bool
+	wireAddr                   string
 }
 
 // runServer builds the store, starts the HTTP tier, and shuts down
@@ -613,6 +622,19 @@ func runServer(addr string, model *core.Model, thr float64, lifecycle bool, ssOp
 		}
 	}()
 
+	if cfg.wireAddr != "" {
+		wl, err := net.Listen("tcp", cfg.wireAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppserve: -wire-addr: %v\n", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := srv.ServeWire(wl); err != nil {
+				fmt.Fprintf(os.Stderr, "ppserve: wire listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("wire protocol on %s\n", wl.Addr())
+	}
 	fmt.Printf("serving on %s (lanes=%d max-batch=%d max-wait=%s lane-depth=%d)\n",
 		addr, cfg.lanes, cfg.maxBatch, cfg.maxWait, cfg.laneDepth)
 	if err := srv.ListenAndServe(addr); err != nil {

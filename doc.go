@@ -28,6 +28,11 @@
 //     retries, per-replica circuit breakers and degraded predicts,
 //     drain-and-handoff resharding, health prober + follower promotion
 //     on primary death
+//   - internal/wire — persistent-connection binary protocol for the hot
+//     event/predict path: length-prefixed CRC-framed requests with
+//     pipelined reply correlation, self-delimiting event batches, and
+//     the zero-copy splicer the router fans batches out with (HTTP/JSON
+//     stays for the control plane)
 //   - internal/replication — per-replica WAL shipping: a source tails
 //     the statestore WAL to a follower over a persistent connection
 //     (snapshot bootstrap, epoch fencing, windowed acks); promotion at

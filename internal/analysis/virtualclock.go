@@ -25,6 +25,10 @@ var clockRestrictedPkgs = []string{
 	// a wall-clock read there (e.g. seeding a rule PRNG from time.Now)
 	// would make chaos scenarios unreplayable. Delays use timers only.
 	"internal/faults",
+	// The wire protocol carries the replay-deterministic hot path between
+	// processes; event time must come from the frames, never the host
+	// clock. Timeouts use timers and watchdogs, not time.Now arithmetic.
+	"internal/wire",
 }
 
 // clockFuncs are the forbidden time-package reads.

@@ -11,8 +11,10 @@ import (
 // believes is acknowledged may not survive a crash — the exact failure
 // the WAL exists to prevent. Three rules:
 //
-//  1. any call into a package ending in internal/statestore whose last
-//     result is an error must consume that error;
+//  1. any call into a package ending in internal/statestore or
+//     internal/wire whose last result is an error must consume that
+//     error (a dropped frame-write error is an acknowledged-but-lost
+//     frame — the wire twin of a lost WAL append);
 //  2. any call to a method named Snapshot, Export or Import returning
 //     an error must consume it, whatever the receiver — this covers the
 //     serving/server interface seams (e.g. server.Options.State) where
@@ -107,6 +109,10 @@ func guardedCall(pass *Pass, call *ast.CallExpr, inStateStore bool) (string, boo
 	name := types.ExprString(call.Fun)
 	switch {
 	case pkgPathHasSuffix(fn.Pkg().Path(), "internal/statestore"):
+		return name, true
+	// The wire protocol is a delivery surface with the same failure shape:
+	// a dropped write/flush error means an acknowledged-but-lost frame.
+	case pkgPathHasSuffix(fn.Pkg().Path(), "internal/wire"):
 		return name, true
 	case sig.Recv() != nil && seamMethodNames[fn.Name()]:
 		return name, true

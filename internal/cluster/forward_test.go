@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -254,4 +256,58 @@ func TestDegradedPredict(t *testing.T) {
 	}
 
 	shutdownKilled(t, a)
+}
+
+// countingPayload counts its own MarshalJSON calls — the probe for the
+// single-marshal invariant below.
+type countingPayload struct{ calls *int32 }
+
+func (p countingPayload) MarshalJSON() ([]byte, error) {
+	atomic.AddInt32(p.calls, 1)
+	return []byte(`{"n":42}`), nil
+}
+
+// TestPostJSONMarshalsOncePerForward pins that the request body is
+// marshalled once, outside forward()'s retry loop: every retry re-reads
+// the same byte slice (bytes.NewReader over the hoisted buffer), so a
+// 3-attempt forward costs one JSON encode and sends identical bytes
+// each time.
+func TestPostJSONMarshalsOncePerForward(t *testing.T) {
+	var calls int32
+	var mu sync.Mutex
+	var bodies [][]byte
+	attempts := 0
+	stub := stubReplica(func(w http.ResponseWriter, req *http.Request) {
+		b, _ := io.ReadAll(req.Body)
+		mu.Lock()
+		bodies = append(bodies, b)
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	defer stub.Close()
+
+	router := newTestRouter(t, Options{Replicas: []string{stub.URL}, DataTimeout: 2 * time.Second})
+	status, err := router.postJSON(context.Background(), stub.URL, "/event", countingPayload{&calls}, nil, router.dataOpts(3))
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("postJSON: status %d, err %v", status, err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("MarshalJSON ran %d times across retries, want exactly 1", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 3 {
+		t.Fatalf("stub saw %d attempts, want 3", len(bodies))
+	}
+	for i, b := range bodies {
+		if !bytes.Equal(b, bodies[0]) {
+			t.Fatalf("attempt %d sent different bytes: %q vs %q", i, b, bodies[0])
+		}
+	}
 }

@@ -155,6 +155,20 @@ func (r *Ring) OwnerOfUser(userID int) string {
 	return r.OwnerOfKey(serving.HiddenKey(userID))
 }
 
+// OwnerIndexOfUser returns the replica index owning a user without
+// allocating (wire.OwnerIndexer). The splice path calls it once per
+// event, so the key hash is computed with no intermediate string.
+func (r *Ring) OwnerIndexOfUser(userID int) int {
+	return r.ownerAt(serving.UserKeyHash(userID))
+}
+
+// NumReplicas returns the replica count.
+func (r *Ring) NumReplicas() int { return len(r.replicas) }
+
+// Replica returns the base URL at index i (no copy — the splice fan-out
+// resolves an owner index per sub-batch).
+func (r *Ring) Replica(i int) string { return r.replicas[i] }
+
 // Move is one directed state transfer of a reshard: the arcs whose
 // ownership passes from Src to Dst.
 type Move struct {

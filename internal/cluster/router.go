@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/server"
 	"repro/internal/serving"
+	"repro/internal/wire"
 )
 
 // The router is the cluster's front door: it speaks the same HTTP API as a
@@ -73,6 +76,20 @@ type Options struct {
 	BreakerFails    int
 	BreakerCooldown time.Duration
 
+	// WireAddrs maps a replica base URL to its binary-protocol listen
+	// address (ppserve -wire-addr). Replicas listed here are forwarded
+	// events and predicts over persistent wire connections (the splice
+	// fast path); absent replicas — e.g. a follower promoted by failover
+	// without a configured wire listener — fall back to HTTP forwarding.
+	WireAddrs map[string]string
+	// WireConns is the per-replica wire connection pool size (<=0 selects
+	// 4). Inbound wire connections pin to one pooled connection, which is
+	// what preserves per-user request order across the hop.
+	WireConns int
+	// WireWindow caps in-flight requests per pooled connection (<=0
+	// selects 64).
+	WireWindow int
+
 	// Followers maps a ring replica's URL to the follower replicating it
 	// (ppserve -replica-of). When the replica dies, Failover promotes the
 	// follower into its arcs.
@@ -125,6 +142,16 @@ type Router struct {
 	fwdMu            sync.Mutex
 	fwd              map[string]*replicaFwd
 	degradedPredicts atomic.Int64
+
+	// Binary transport (wire.go): outbound per-replica client pools and
+	// the inbound listener registry, under the wireMu leaf lock.
+	wireMu        sync.Mutex
+	wireAddrs     map[string]string
+	wirePools     map[string]*wire.Client
+	wireListeners map[net.Listener]struct{}
+	wireConnsIn   map[net.Conn]struct{}
+	wireClosed    atomic.Bool
+	wireConnSeq   atomic.Uint64
 
 	start    time.Time
 	reshards int
@@ -204,6 +231,13 @@ func New(opts Options) (*Router, error) {
 	r.proberStopCh = make(chan struct{})
 	r.probeNow = make(chan struct{}, 1)
 	r.fwd = make(map[string]*replicaFwd)
+	r.wireAddrs = make(map[string]string, len(opts.WireAddrs))
+	for base, addr := range opts.WireAddrs {
+		r.wireAddrs[strings.TrimRight(base, "/")] = addr
+	}
+	r.wirePools = make(map[string]*wire.Client)
+	r.wireListeners = make(map[net.Listener]struct{})
+	r.wireConnsIn = make(map[net.Conn]struct{})
 	r.mux = http.NewServeMux()
 	r.mux.HandleFunc("/event", r.handleEvent)
 	r.mux.HandleFunc("/predict", r.handlePredict)

@@ -44,9 +44,14 @@ type ServerBenchResult struct {
 	SpeedupVsBatch1 float64 `json:"speedup_vs_batch1"`
 	// Replicas > 0 marks a cluster row (that many replicas behind the
 	// router); SpeedupVsSingle is then the router's throughput relative to
-	// the single-replica server at the same hidden dim and batcher config.
+	// the single-replica server at the same hidden dim, batcher config and
+	// transport (wire cluster rows compare against the wire single row).
 	Replicas        int     `json:"replicas,omitempty"`
 	SpeedupVsSingle float64 `json:"speedup_vs_single,omitempty"`
+	// Wire marks a row driven over the binary wire protocol (events and
+	// predicts; the control plane stays HTTP). The HTTP rows are retained
+	// so the JSON tracks transport overhead directly.
+	Wire bool `json:"wire,omitempty"`
 }
 
 // ServerBenchSuite is the JSON document written to BENCH_server.json.
@@ -73,6 +78,10 @@ type serverBenchConfig struct {
 	maxBatch int
 	maxWait  time.Duration
 	replicas int
+	// wire drives the hot path over the binary protocol: a wire listener
+	// per server, per-replica wire pools in the router, and the load
+	// generator's -wire transport.
+	wire bool
 }
 
 // RunServerBench measures online serving throughput and latency across
@@ -114,13 +123,13 @@ func RunServerBench(quick bool) *ServerBenchSuite {
 
 	var cfgs []serverBenchConfig
 	for _, d := range dims {
-		cfgs = append(cfgs, serverBenchConfig{"batch-1", d, 1, -1, 0})
+		cfgs = append(cfgs, serverBenchConfig{"batch-1", d, 1, -1, 0, false})
 		if !quick {
-			cfgs = append(cfgs, serverBenchConfig{"batch-16-wait-2ms", d, 16, 2 * time.Millisecond, 0})
+			cfgs = append(cfgs, serverBenchConfig{"batch-16-wait-2ms", d, 16, 2 * time.Millisecond, 0, false})
 		}
-		cfgs = append(cfgs, serverBenchConfig{"batch-32-wait-2ms", d, 32, 2 * time.Millisecond, 0})
+		cfgs = append(cfgs, serverBenchConfig{"batch-32-wait-2ms", d, 32, 2 * time.Millisecond, 0, false})
 		if !quick {
-			cfgs = append(cfgs, serverBenchConfig{"batch-32-wait-8ms", d, 32, 8 * time.Millisecond, 0})
+			cfgs = append(cfgs, serverBenchConfig{"batch-32-wait-8ms", d, 32, 8 * time.Millisecond, 0, false})
 		}
 		// The cluster row: the same batcher config behind a 3-replica
 		// router, so the JSON tracks router-vs-single-replica throughput.
@@ -128,7 +137,14 @@ func RunServerBench(quick bool) *ServerBenchSuite {
 		// the router's forwarding overhead, not scale-out — the scale-out
 		// claim needs real machines; the parity and handoff guarantees are
 		// what CI pins.)
-		cfgs = append(cfgs, serverBenchConfig{"router-3rep-batch-32", d, 32, 2 * time.Millisecond, 3})
+		cfgs = append(cfgs, serverBenchConfig{"router-3rep-batch-32", d, 32, 2 * time.Millisecond, 3, false})
+		// The wire rows: the same batcher config with the hot path on the
+		// binary protocol — single server, then the 3-replica router with
+		// zero-copy splice fan-out. The perf gate compares wire-router-3rep
+		// against wire-batch-32 (≥ 1.0x: splice fan-out must not cost
+		// throughput vs one wire server on the same cores).
+		cfgs = append(cfgs, serverBenchConfig{"wire-batch-32", d, 32, 2 * time.Millisecond, 0, true})
+		cfgs = append(cfgs, serverBenchConfig{"wire-router-3rep-batch-32", d, 32, 2 * time.Millisecond, 3, true})
 	}
 
 	models := map[int]*core.Model{}
@@ -155,8 +171,9 @@ func RunServerBench(quick bool) *ServerBenchSuite {
 		}
 	}
 
-	batch1 := map[int]float64{}   // hidden dim -> batch-1 sessions/s
-	single32 := map[int]float64{} // hidden dim -> single-replica batch-32 sessions/s
+	batch1 := map[int]float64{}       // hidden dim -> batch-1 sessions/s
+	single32 := map[int]float64{}     // hidden dim -> single-replica HTTP batch-32 sessions/s
+	wireSingle32 := map[int]float64{} // hidden dim -> single-replica wire batch-32 sessions/s
 	for i, c := range cfgs {
 		// The negative greedy-flush sentinel serialises as 0 (no wait).
 		waitMs := float64(c.maxWait.Nanoseconds()) / 1e6
@@ -176,18 +193,30 @@ func RunServerBench(quick bool) *ServerBenchSuite {
 			EventLatency:   best[i].EventLatency,
 			PredictLatency: best[i].PredictLatency,
 			Replicas:       c.replicas,
+			Wire:           c.wire,
 		}
 		if c.replicas == 0 && c.maxBatch == 1 {
 			batch1[c.d] = best[i].SessionsPerSec
 		}
 		if c.replicas == 0 && c.maxBatch == 32 && c.maxWait == 2*time.Millisecond {
-			single32[c.d] = best[i].SessionsPerSec
+			if c.wire {
+				wireSingle32[c.d] = best[i].SessionsPerSec
+			} else {
+				single32[c.d] = best[i].SessionsPerSec
+			}
 		}
 		if base := batch1[c.d]; base > 0 {
 			res.SpeedupVsBatch1 = best[i].SessionsPerSec / base
 		}
 		if c.replicas > 0 {
-			if base := single32[c.d]; base > 0 {
+			// Cluster rows compare against the single server on the same
+			// transport: the wire gate is wire-router-3rep ≥ 1.0x the wire
+			// single at the same dim.
+			base := single32[c.d]
+			if c.wire {
+				base = wireSingle32[c.d]
+			}
+			if base > 0 {
 				res.SpeedupVsSingle = best[i].SessionsPerSec / base
 			}
 		}
@@ -236,11 +265,21 @@ func runServerOnce(m *core.Model, c serverBenchConfig, concurrency, eventsPerPos
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(l) }()
 	base := "http://" + l.Addr().String()
+	var wireAddr string
+	if c.wire {
+		wl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		go srv.ServeWire(wl)
+		wireAddr = wl.Addr().String()
+	}
 	if err := server.WaitHealthy(base, 10*time.Second); err != nil {
 		return nil, nil, err
 	}
 	rep, err := server.RunLoad(server.LoadOptions{
 		BaseURL:       base,
+		WireAddr:      wireAddr,
 		Concurrency:   concurrency,
 		EventsPerPost: eventsPerPost,
 		PredictEvery:  16,
@@ -284,6 +323,7 @@ func runClusterOnce(m *core.Model, c serverBenchConfig, concurrency, eventsPerPo
 			mem.srv.Shutdown(ctx)
 		}
 	}()
+	wireAddrs := map[string]string{}
 	for i := 0; i < c.replicas; i++ {
 		srv := server.New(server.Options{
 			Model:     m,
@@ -300,9 +340,18 @@ func runClusterOnce(m *core.Model, c serverBenchConfig, concurrency, eventsPerPo
 		}
 		go srv.Serve(l)
 		members = append(members, member{srv, l})
-		urls = append(urls, "http://"+l.Addr().String())
+		url := "http://" + l.Addr().String()
+		urls = append(urls, url)
+		if c.wire {
+			wl, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			go srv.ServeWire(wl)
+			wireAddrs[url] = wl.Addr().String()
+		}
 	}
-	router, err := cluster.New(cluster.Options{Replicas: urls})
+	router, err := cluster.New(cluster.Options{Replicas: urls, WireAddrs: wireAddrs})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -314,11 +363,22 @@ func runClusterOnce(m *core.Model, c serverBenchConfig, concurrency, eventsPerPo
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- rsrv.Serve(rl) }()
 	base := "http://" + rl.Addr().String()
+	var routerWire string
+	if c.wire {
+		wl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		go router.ServeWire(wl)
+		defer router.CloseWire()
+		routerWire = wl.Addr().String()
+	}
 	if err := server.WaitHealthy(base, 10*time.Second); err != nil {
 		return nil, nil, err
 	}
 	rep, err := server.RunLoad(server.LoadOptions{
 		BaseURL:         base,
+		WireAddr:        routerWire,
 		Concurrency:     concurrency,
 		EventsPerPost:   eventsPerPost,
 		PredictEvery:    16,

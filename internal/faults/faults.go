@@ -21,7 +21,10 @@
 //	repl.conn.write  (primary)    follower → primary acks
 //	statestore.wal.write  (dir)   one WAL append (error / short-write)
 //	statestore.snap.write (dir)   one snapshot write
-//	server.event / server.predict / server.flush ("")  handler entry
+//	wire.read        (addr)       inbound bytes on a wire-protocol conn
+//	wire.write       (addr)       outbound bytes on a wire-protocol conn
+//	server.event / server.predict (""/"wire")  handler entry per transport
+//	server.flush     ("")         handler entry
 //
 // The package is on the deterministic replay path (pplint's clock-
 // restricted set): it never reads the wall clock — delays use timers only.

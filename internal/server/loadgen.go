@@ -12,6 +12,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/serving"
 	"repro/internal/synth"
+	"repro/internal/wire"
 )
 
 // The load generator replays an event log over the HTTP API, closed- or
@@ -111,6 +112,11 @@ type LoadOptions struct {
 	RetryBackoff time.Duration
 	// Client overrides the HTTP client (nil selects a pooled default).
 	Client *http.Client
+	// WireAddr switches the hot path (events, predicts) onto the binary
+	// wire protocol at this host:port, one persistent pooled connection
+	// per worker. The control plane (/flush, /digest, /statz) stays on
+	// BaseURL over HTTP. Empty keeps everything on HTTP.
+	WireAddr string
 }
 
 // LatencyStats summarises one endpoint's request latencies.
@@ -144,18 +150,27 @@ type LoadReport struct {
 	// eventually lands after retries is not an error. DegradedPredicts
 	// counts 200 predict responses that carried the degraded flag — the
 	// router answered from a non-owner replica while the owner was down.
-	Retries          int          `json:"retries,omitempty"`
-	DegradedPredicts int          `json:"degraded_predicts,omitempty"`
-	WallMs           float64      `json:"wall_ms"`
-	SessionsPerSec   float64      `json:"sessions_per_sec"`
-	EventLatency     LatencyStats `json:"event_latency"`
-	PredictLatency   LatencyStats `json:"predict_latency"`
+	Retries          int `json:"retries,omitempty"`
+	DegradedPredicts int `json:"degraded_predicts,omitempty"`
+	// EventsPerPostMean is the realized batch size: accepted events over
+	// event posts sent. It differs from the configured EventsPerPost when
+	// chunks flush early to keep start/access pairs whole, or when posts
+	// are retried — throughput comparisons need the realized value, not
+	// the knob.
+	EventsPerPostMean float64      `json:"events_per_post_mean,omitempty"`
+	WallMs            float64      `json:"wall_ms"`
+	SessionsPerSec    float64      `json:"sessions_per_sec"`
+	EventLatency      LatencyStats `json:"event_latency"`
+	PredictLatency    LatencyStats `json:"predict_latency"`
 }
 
 // loadWorker drives one connection's share of the log.
 type loadWorker struct {
 	opts         LoadOptions
 	client       *http.Client
+	wcl          *wire.Client // non-nil in wire mode
+	lane         uint64       // pins this worker to one pooled wire connection
+	wireBuf      []byte       // reused encode buffer (events or predict payload)
 	sessions     []ReplayEvent
 	eventLat     []float64
 	predictLat   []float64
@@ -190,11 +205,21 @@ func RunLoad(opts LoadOptions, log []ReplayEvent) (*LoadReport, error) {
 		}
 	}
 
+	// In wire mode the hot path rides a pooled binary client: one pooled
+	// connection per worker plus one for the predict sampler, so the
+	// per-worker (and therefore per-user) ordering contract carries over
+	// unchanged from the HTTP transport.
+	var wcl *wire.Client
+	if opts.WireAddr != "" {
+		wcl = wire.NewClient(opts.WireAddr, wire.ClientOptions{Conns: opts.Concurrency + 1})
+		defer wcl.Close()
+	}
+
 	// Shard sessions by user: all of a user's sessions ride one worker, in
 	// log (timestamp) order — the ordering contract the parity gate needs.
 	workers := make([]*loadWorker, opts.Concurrency)
 	for i := range workers {
-		workers[i] = &loadWorker{opts: opts, client: client}
+		workers[i] = &loadWorker{opts: opts, client: client, wcl: wcl, lane: uint64(i)}
 	}
 	for _, ev := range log {
 		w := workers[serving.UserLane(ev.User, len(workers))]
@@ -213,7 +238,7 @@ func RunLoad(opts LoadOptions, log []ReplayEvent) (*LoadReport, error) {
 	stopSampler := make(chan struct{})
 	samplerDone := make(chan struct{})
 	if opts.PredictEvery > 0 && len(log) > 0 {
-		sampler = &loadWorker{opts: opts, client: client}
+		sampler = &loadWorker{opts: opts, client: client, wcl: wcl, lane: uint64(opts.Concurrency)}
 		go func() {
 			defer close(samplerDone)
 			sampler.samplePredicts(log, stopSampler)
@@ -259,6 +284,9 @@ func RunLoad(opts LoadOptions, log []ReplayEvent) (*LoadReport, error) {
 		prLat = append(prLat, sampler.predictLat...)
 	}
 	rep.SessionsPerSec = float64(rep.SessionsAccepted) / wall.Seconds()
+	if rep.Posts > 0 {
+		rep.EventsPerPostMean = float64(rep.Events) / float64(rep.Posts)
+	}
 	rep.EventLatency = summarize(evLat)
 	rep.PredictLatency = summarize(prLat)
 	return rep, nil
@@ -285,6 +313,10 @@ func (w *loadWorker) samplePredicts(log []ReplayEvent, stop <-chan struct{}) {
 // run replays the worker's sessions: coalesce events into posts (keeping
 // each session's start+access pair whole), pace if open-loop.
 func (w *loadWorker) run(start time.Time) {
+	if w.wcl != nil {
+		w.runWire(start)
+		return
+	}
 	chunk := make([]Event, 0, w.opts.EventsPerPost+1)
 	var sent int
 	pace := func() {
@@ -320,6 +352,51 @@ func (w *loadWorker) run(start time.Time) {
 		sent++
 	}
 	flushChunk()
+}
+
+// runWire is run's binary-transport twin: the same chunking rules (pair
+// atomicity, EventsPerPost, pacing), but events encode straight into a
+// reused wire batch buffer instead of a JSON slice.
+func (w *loadWorker) runWire(start time.Time) {
+	var count, starts, sent int
+	buf := w.wireBuf[:0]
+	pace := func() {
+		if w.opts.RatePerSec <= 0 {
+			return
+		}
+		perWorker := w.opts.RatePerSec / float64(w.opts.Concurrency)
+		due := start.Add(time.Duration(float64(sent) / perWorker * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	flushChunk := func() {
+		if count == 0 {
+			return
+		}
+		w.postEventsWire(count, starts, buf)
+		buf, count, starts = buf[:0], 0, 0
+	}
+	for _, ev := range w.sessions {
+		pace()
+		// Keep the pair atomic: flush first if it would not fit whole.
+		if count+2 > w.opts.EventsPerPost+1 {
+			flushChunk()
+		}
+		buf = wire.AppendStart(buf, ev.User, ev.Ts, ev.SID, ev.Cat)
+		count++
+		starts++
+		if ev.Access {
+			buf = wire.AppendAccess(buf, ev.User, ev.Ts+30, ev.SID)
+			count++
+		}
+		if count >= w.opts.EventsPerPost {
+			flushChunk()
+		}
+		sent++
+	}
+	flushChunk()
+	w.wireBuf = buf
 }
 
 func (w *loadWorker) postEvents(evs []Event) {
@@ -372,7 +449,52 @@ func (w *loadWorker) postEvents(evs []Event) {
 	}
 }
 
+// postEventsWire is postEvents over the binary transport, with the same
+// retry contract: transport errors and Error/Draining acks are retryable
+// in place (order preserved), shed batches are not. SendEvents itself
+// never retries — delivery after a transport error is unknown, and the
+// double-apply rule says only this layer, which owns the batch, decides.
+func (w *loadWorker) postEventsWire(count, starts int, events []byte) {
+	backoff := w.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		ack, err := w.wcl.SendEvents(w.lane, count, events)
+		lat := float64(time.Since(t0).Nanoseconds()) / 1e6
+		w.posts++
+		retryable := false
+		if err != nil {
+			retryable = true
+		} else {
+			w.eventLat = append(w.eventLat, lat)
+			switch ack.Status {
+			case wire.StatusOK:
+				w.events += count
+				w.sessionsOK += starts
+				return
+			case wire.StatusShed:
+				w.shed += count
+				return
+			default:
+				retryable = ack.Status == wire.StatusError || ack.Status == wire.StatusDraining
+			}
+		}
+		if !retryable || attempt >= w.opts.RetryFailed {
+			w.errors++
+			return
+		}
+		w.retries++
+		time.Sleep(backoff)
+	}
+}
+
 func (w *loadWorker) postPredict(ev ReplayEvent) {
+	if w.wcl != nil {
+		w.postPredictWire(ev)
+		return
+	}
 	body, _ := json.Marshal(PredictIn{User: ev.User, Ts: ev.Ts, Cat: ev.Cat})
 	t0 := time.Now()
 	resp, err := w.client.Post(w.opts.BaseURL+"/predict", "application/json", bytes.NewReader(body))
@@ -395,6 +517,33 @@ func (w *loadWorker) postPredict(ev ReplayEvent) {
 		w.errors++
 	}
 	resp.Body.Close()
+}
+
+// postPredictWire samples one predict over the binary transport. Like the
+// HTTP sampler it makes a single attempt per sample — a failed sample is
+// an error count, not a retry loop distorting the latency histogram.
+func (w *loadWorker) postPredictWire(ev ReplayEvent) {
+	payload := wire.AppendPredict(w.wireBuf[:0], ev.User, ev.Ts, ev.Cat)
+	w.wireBuf = payload
+	t0 := time.Now()
+	pr, err := w.wcl.SendPredict(w.lane, payload, 0)
+	lat := float64(time.Since(t0).Nanoseconds()) / 1e6
+	if err != nil {
+		w.errors++
+		return
+	}
+	switch pr.Status {
+	case wire.StatusOK:
+		w.predicts++
+		w.predictLat = append(w.predictLat, lat)
+		if pr.Degraded {
+			w.degraded++
+		}
+	case wire.StatusShed:
+		w.predictsShed++
+	default:
+		w.errors++
+	}
 }
 
 // summarize sorts latencies and extracts the histogram quantiles using the

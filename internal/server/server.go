@@ -175,6 +175,14 @@ type Server struct {
 	// (nil without a durable store).
 	source *replication.Source
 
+	// wireMu guards the binary-listener registry (ServeWire) so Shutdown
+	// can close listeners and live connections; wireWG tracks per-
+	// connection goroutines across the drain.
+	wireMu        sync.Mutex
+	wireListeners map[net.Listener]struct{}
+	wireConns     map[net.Conn]struct{}
+	wireWG        sync.WaitGroup
+
 	start time.Time
 	mux   *http.ServeMux
 	// httpMu guards httpSrv: ListenAndServe/Serve register it while
@@ -214,6 +222,9 @@ func New(opts Options) *Server {
 		maxInflight: opts.Lanes * opts.LaneDepth,
 		predictQ:    make(chan predictItem, opts.PredictDepth),
 		start:       time.Now(),
+
+		wireListeners: map[net.Listener]struct{}{},
+		wireConns:     map[net.Conn]struct{}{},
 	}
 	s.inflightCond = sync.NewCond(&s.inflightMu)
 	s.proc.SetSink(s.submitDue)
@@ -316,6 +327,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.httpMu.Unlock()
 	if h != nil {
 		err = h.Shutdown(ctx)
+	}
+	// The binary listeners next: wire clients are load generators and
+	// routers that finish their replay before shutdown, so conns are
+	// closed rather than drained — an in-flight frame either applied
+	// whole (its goroutine holds mu before the draining latch) or not at
+	// all.
+	s.closeWire()
+	if werr := waitGroupCtx(ctx, &s.wireWG); werr != nil && err == nil {
+		err = werr
 	}
 	// After draining latches (under mu), no handler dispatches again —
 	// every lane send happens inside a processor call under mu, and every

@@ -105,6 +105,26 @@ func hiddenKey(userID int) string { return "h:" + strconv.Itoa(userID) }
 // matching their stored key against a hash arc agree by construction.
 func HiddenKey(userID int) string { return hiddenKey(userID) }
 
+// UserKeyHash is KeyHash(HiddenKey(userID)) computed without building the
+// key string. The router's splice path calls it once per event, so the
+// digits render into a stack buffer and hash in place; a test pins the
+// equivalence against the string path.
+func UserKeyHash(userID int) uint32 {
+	var buf [24]byte
+	b := append(buf[:0], 'h', ':')
+	b = strconv.AppendInt(b, int64(userID), 10)
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= prime
+	}
+	return h
+}
+
 // updateScratch holds the reusable buffers of the finalisation hot path —
 // one per processor (sequential) or per worker lane (parallel), so GRU
 // updates run allocation-free apart from the store's defensive copies.

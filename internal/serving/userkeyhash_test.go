@@ -1,0 +1,29 @@
+package serving
+
+import "testing"
+
+// TestUserKeyHashMatchesStringPath pins the alloc-free fast path against
+// its definition: UserKeyHash(u) == KeyHash(HiddenKey(u)) for edge and
+// random-ish user IDs. The router's splice fan-out routes every event by
+// this hash, so divergence would silently re-home users.
+func TestUserKeyHashMatchesStringPath(t *testing.T) {
+	cases := []int{0, 1, 9, 10, 11, 99, 100, 12345, 1 << 20, 1<<31 - 1}
+	for u := 0; u < 10_000; u++ {
+		cases = append(cases, u*7919%1_000_003)
+	}
+	for _, u := range cases {
+		if got, want := UserKeyHash(u), KeyHash(HiddenKey(u)); got != want {
+			t.Fatalf("UserKeyHash(%d) = %#x, KeyHash(HiddenKey) = %#x", u, got, want)
+		}
+	}
+}
+
+// TestUserKeyHashAllocs: the whole point of the fast path is avoiding the
+// per-event key string on the splice path.
+func TestUserKeyHashAllocs(t *testing.T) {
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = UserKeyHash(123456789)
+	}); allocs != 0 {
+		t.Fatalf("UserKeyHash: %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,319 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testWireServer is a minimal protocol peer for client tests: handshake,
+// then a per-connection frame loop delegating to a pluggable handler.
+type testWireServer struct {
+	t *testing.T
+	l net.Listener
+
+	mu           sync.Mutex
+	conns        int
+	eventsFrames int
+
+	// handle processes one request frame; returning false drops the
+	// connection (the misbehaving-server lever reconnect tests pull).
+	handle func(s *testWireServer, connNo int, fw *Writer, typ byte, p []byte) bool
+}
+
+func newTestWireServer(t *testing.T, handle func(*testWireServer, int, *Writer, byte, []byte) bool) *testWireServer {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &testWireServer{t: t, l: l, handle: handle}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns++
+			n := s.conns
+			s.mu.Unlock()
+			go s.serve(conn, n)
+		}
+	}()
+	return s
+}
+
+func (s *testWireServer) addr() string { return s.l.Addr().String() }
+
+func (s *testWireServer) connCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conns
+}
+
+func (s *testWireServer) eventsSeen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eventsFrames
+}
+
+func (s *testWireServer) serve(conn net.Conn, connNo int) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	fw := NewWriter(bufio.NewWriter(conn))
+	typ, p, err := ReadFrame(br, nil)
+	if err != nil || CheckHello(typ, p) != nil {
+		return
+	}
+	if err := fw.WriteHello(); err != nil || fw.Flush() != nil {
+		return
+	}
+	buf := p[:cap(p)]
+	for {
+		typ, p, err := ReadFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = p[:cap(p)]
+		if typ == FEvents {
+			s.mu.Lock()
+			s.eventsFrames++
+			s.mu.Unlock()
+		}
+		if !s.handle(s, connNo, fw, typ, p) {
+			return
+		}
+	}
+}
+
+// echoHandler answers events with an OK ack and predicts with the user ID
+// as the probability — enough structure to verify correlation end to end.
+func echoHandler(_ *testWireServer, _ int, fw *Writer, typ byte, p []byte) bool {
+	reqID := binary.LittleEndian.Uint64(p)
+	switch typ {
+	case FEvents:
+		cnt, _, err := uvarint(p, 8)
+		if err != nil {
+			return false
+		}
+		if fw.WriteAck(reqID, StatusOK, int(cnt), "") != nil {
+			return false
+		}
+	case FPredict:
+		pr, _, err := ParsePredict(p[8:], nil)
+		if err != nil {
+			return false
+		}
+		if fw.WritePredictReply(reqID, PredictReply{Status: StatusOK, Probability: float64(pr.User)}) != nil {
+			return false
+		}
+	default:
+		return false
+	}
+	return fw.Flush() == nil
+}
+
+func testClientOptions() ClientOptions {
+	return ClientOptions{DialTimeout: 5 * time.Second, CallTimeout: 5 * time.Second}
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	s := newTestWireServer(t, echoHandler)
+	cl := NewClient(s.addr(), testClientOptions())
+	defer cl.Close()
+
+	batch := buildBatch(sampleEvents())
+	// SendEvents takes the events without the count prefix.
+	_, off, err := uvarint(batch, 0)
+	if err != nil {
+		t.Fatalf("count: %v", err)
+	}
+	ack, err := cl.SendEvents(0, len(sampleEvents()), batch[off:])
+	if err != nil {
+		t.Fatalf("SendEvents: %v", err)
+	}
+	if ack.Status != StatusOK || ack.Accepted != len(sampleEvents()) {
+		t.Fatalf("ack: %+v", ack)
+	}
+	pr, err := cl.SendPredict(0, AppendPredict(nil, 31, 100, nil), 0)
+	if err != nil {
+		t.Fatalf("SendPredict: %v", err)
+	}
+	if pr.Status != StatusOK || pr.Probability != 31 {
+		t.Fatalf("reply: %+v", pr)
+	}
+}
+
+// TestClientPipeliningOutOfOrder holds a window of requests server-side
+// and answers them in reverse: correlation by request ID must route every
+// reply to its caller even when the server reorders.
+func TestClientPipeliningOutOfOrder(t *testing.T) {
+	const k = 8
+	const warmUser = 1 << 20
+	var held []struct {
+		id   uint64
+		user int
+	}
+	handle := func(_ *testWireServer, _ int, fw *Writer, typ byte, p []byte) bool {
+		if typ != FPredict {
+			return false
+		}
+		pr, _, err := ParsePredict(p[8:], nil)
+		if err != nil {
+			return false
+		}
+		if pr.User == warmUser { // connection warm-up: answer immediately
+			if fw.WritePredictReply(binary.LittleEndian.Uint64(p), PredictReply{Status: StatusOK}) != nil {
+				return false
+			}
+			return fw.Flush() == nil
+		}
+		held = append(held, struct {
+			id   uint64
+			user int
+		}{binary.LittleEndian.Uint64(p), pr.User})
+		if len(held) < k {
+			return true
+		}
+		for i := len(held) - 1; i >= 0; i-- {
+			if fw.WritePredictReply(held[i].id, PredictReply{Status: StatusOK, Probability: float64(held[i].user)}) != nil {
+				return false
+			}
+		}
+		held = held[:0]
+		return fw.Flush() == nil
+	}
+	s := newTestWireServer(t, handle)
+	opts := testClientOptions()
+	opts.Window = k
+	cl := NewClient(s.addr(), opts)
+	defer cl.Close()
+
+	// Dial once before fanning out, so the k goroutines below share one
+	// established connection instead of racing the first dial.
+	if _, err := cl.SendPredict(0, AppendPredict(nil, warmUser, 1, nil), 0); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			pr, err := cl.SendPredict(0, AppendPredict(nil, user, 100, nil), 0)
+			if err != nil {
+				errs[user] = err
+				return
+			}
+			if pr.Probability != float64(user) {
+				errs[user] = errors.New("reply correlated to the wrong request")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if s.connCount() != 1 {
+		t.Fatalf("pipelined requests used %d connections, want 1", s.connCount())
+	}
+}
+
+// TestClientReconnect kills the first connection after one unanswered
+// request: the failed call surfaces an error, the retry redials
+// transparently, and the second connection answers.
+func TestClientReconnect(t *testing.T) {
+	handle := func(s *testWireServer, connNo int, fw *Writer, typ byte, p []byte) bool {
+		if connNo == 1 {
+			return false // drop without replying
+		}
+		return echoHandler(s, connNo, fw, typ, p)
+	}
+	s := newTestWireServer(t, handle)
+	cl := NewClient(s.addr(), testClientOptions())
+	defer cl.Close()
+
+	pr, err := cl.SendPredict(0, AppendPredict(nil, 5, 100, nil), 3)
+	if err != nil {
+		t.Fatalf("SendPredict with retries: %v", err)
+	}
+	if pr.Probability != 5 {
+		t.Fatalf("reply: %+v", pr)
+	}
+	if s.connCount() < 2 {
+		t.Fatalf("reconnect used %d connections, want >= 2", s.connCount())
+	}
+}
+
+// TestClientEventsNeverRetried pins the double-apply rule at the transport
+// layer: a dead connection fails SendEvents — exactly one events frame
+// reaches the server, because delivery is unknown and only the caller may
+// re-send an ordered batch.
+func TestClientEventsNeverRetried(t *testing.T) {
+	handle := func(s *testWireServer, connNo int, fw *Writer, typ byte, p []byte) bool {
+		if connNo == 1 {
+			return false
+		}
+		return echoHandler(s, connNo, fw, typ, p)
+	}
+	s := newTestWireServer(t, handle)
+	cl := NewClient(s.addr(), testClientOptions())
+	defer cl.Close()
+
+	batch := buildBatch(sampleEvents())
+	_, off, _ := uvarint(batch, 0)
+	if _, err := cl.SendEvents(0, len(sampleEvents()), batch[off:]); err == nil {
+		t.Fatal("SendEvents on a dying connection reported success")
+	}
+	if got := s.eventsSeen(); got != 1 {
+		t.Fatalf("server saw %d events frames, want exactly 1 (no transport retry)", got)
+	}
+}
+
+func TestClientClose(t *testing.T) {
+	s := newTestWireServer(t, echoHandler)
+	cl := NewClient(s.addr(), testClientOptions())
+	if _, err := cl.SendPredict(0, AppendPredict(nil, 1, 1, nil), 0); err != nil {
+		t.Fatalf("SendPredict: %v", err)
+	}
+	cl.Close()
+	if _, err := cl.SendPredict(0, AppendPredict(nil, 1, 1, nil), 5); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("call after Close: %v, want ErrClientClosed", err)
+	}
+}
+
+// TestClientLanePinning: distinct lanes land on distinct pooled
+// connections (lane % conns), the property per-user ordering rides on.
+func TestClientLanePinning(t *testing.T) {
+	s := newTestWireServer(t, echoHandler)
+	opts := testClientOptions()
+	opts.Conns = 2
+	cl := NewClient(s.addr(), opts)
+	defer cl.Close()
+
+	if _, err := cl.SendPredict(0, AppendPredict(nil, 1, 1, nil), 0); err != nil {
+		t.Fatalf("lane 0: %v", err)
+	}
+	if _, err := cl.SendPredict(1, AppendPredict(nil, 2, 1, nil), 0); err != nil {
+		t.Fatalf("lane 1: %v", err)
+	}
+	if s.connCount() != 2 {
+		t.Fatalf("two lanes used %d connections, want 2", s.connCount())
+	}
+	// Same lane again: no new dial.
+	if _, err := cl.SendPredict(2, AppendPredict(nil, 3, 1, nil), 0); err != nil {
+		t.Fatalf("lane 2: %v", err)
+	}
+	if s.connCount() != 2 {
+		t.Fatalf("lane reuse dialed a new connection (%d total)", s.connCount())
+	}
+}

@@ -1,0 +1,34 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("WIRE_GEN_CORPUS") == "" {
+		t.Skip("set WIRE_GEN_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	write := func(fuzz, name string, data []byte) {
+		dir := filepath.Join("testdata", "fuzz", fuzz)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, _, err := frameStreamFuzzSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("FuzzReadFrame", "frame-stream", raw)
+	write("FuzzReadFrame", "hello", []byte{FHello, 1, 0, 0, 0, Version})
+	write("FuzzEventReader", "sample-batch", buildBatch(sampleEvents()))
+	write("FuzzEventReader", "empty-batch", binary.AppendUvarint(nil, 0))
+}
