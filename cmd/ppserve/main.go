@@ -26,10 +26,16 @@
 // state idleness (evicted users fall back to h_0 cold start), -mem-budget
 // caps resident bytes, and -quant holds warm states int8-quantized.
 //
+// -precision f32 runs session finalisation through the fused float32
+// kernels instead of the f64 reference path (predictions always score in
+// f64). With a lifecycle store, the statestore then holds states under the
+// f32 codec, so the resident width matches the compute width.
+//
 // Usage:
 //
 //	ppserve -users 500 -threshold 0.5
 //	ppserve -users 500 -workers 8 -batch 64
+//	ppserve -users 500 -precision f32 -workers 8 -batch 64
 //	ppserve -users 500 -persist /tmp/pp -restart-after 0.5
 //	ppserve -users 500 -serve :8080 -max-batch 32 -max-wait 2ms
 //	ppserve -users 500 -digest   # print the replay's state digest (parity)
@@ -51,6 +57,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/nn"
 	"repro/internal/replication"
 	"repro/internal/server"
 	"repro/internal/serving"
@@ -72,6 +79,8 @@ type flagSet struct {
 	maxWait                 time.Duration
 	replicaOf               string
 	follow                  bool
+	quant                   bool
+	precision               string
 	cpuprofile, memprofile  string
 	// set records which flags were explicitly passed (flag.Visit), so
 	// validation can reject mode-mismatched flags without guessing from
@@ -157,6 +166,13 @@ func (f flagSet) validate() error {
 	if f.laneDepth < 1 {
 		add("-lane-depth must be >= 1")
 	}
+	if _, err := nn.ParsePrecision(f.precision); err != nil {
+		add("-precision: " + err.Error())
+	} else if f.precision == "f32" && f.quant {
+		// int8 quantization constants are calibrated against f64-computed
+		// states; mixing tiers silently shifts the dequantized distribution.
+		add("-precision f32 with -quant is not supported until the int8 scale is recalibrated for the f32 tier; pick one")
+	}
 	if len(errs) == 0 {
 		return nil
 	}
@@ -193,6 +209,7 @@ func main() {
 		memBudget    = flag.Int64("mem-budget", 0, "resident byte budget for hidden states (0 = unbounded)")
 		quant        = flag.Bool("quant", false, "hold warm states int8-quantized (1 byte/dim, §9)")
 		restartAfter = flag.Float64("restart-after", 0, "simulate a crash + restart after this fraction of the replay (requires -persist)")
+		precisionF   = flag.String("precision", "f64", "session-finalisation compute tier: f64 (bit-exact reference) or f32 (fused kernels, bounded-error vs f64); predictions always run f64")
 	)
 	flag.Parse()
 
@@ -205,6 +222,7 @@ func main() {
 		serve: *serveAddr, wireAddr: *wireAddr,
 		maxBatch: *maxBatch, maxWait: *maxWait, laneDepth: *laneDepth,
 		replicaOf: *replicaOf, follow: *follow,
+		quant: *quant, precision: *precisionF,
 		cpuprofile: *cpuprofile, memprofile: *memprofile,
 		set: map[string]bool{},
 	}
@@ -213,6 +231,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ppserve: %v\n", err)
 		os.Exit(2)
 	}
+	tier, _ := nn.ParsePrecision(fs.precision) // validated above
 
 	// Arm fault injection before any faultable subsystem (statestore,
 	// replication, handlers) comes up, so a scenario covers the whole run.
@@ -245,6 +264,10 @@ func main() {
 	mcfg.HiddenDim = *hidden
 	mcfg.Seed = *seed
 	model := core.New(data.Schema, mcfg)
+	if tier == nn.TierF32 && !model.SupportsF32() {
+		fmt.Fprintf(os.Stderr, "ppserve: -precision f32: the %s cell has no f32 inference tier\n", model.Cfg.Cell)
+		os.Exit(2)
+	}
 	tc := core.DefaultTrainConfig()
 	tc.Epochs = *epochs
 	tc.BatchUsers = 4
@@ -270,6 +293,11 @@ func main() {
 	}
 	if *quant {
 		ssOpts.Codec = statestore.CodecInt8
+	} else if tier == nn.TierF32 {
+		// Match the resident width to the compute width: the f32 tier's
+		// records are tagged tagF32 and stored payload-verbatim, so Get/Put
+		// never transcode per dimension.
+		ssOpts.Codec = statestore.CodecF32
 	}
 
 	if *serveAddr != "" {
@@ -283,6 +311,7 @@ func main() {
 			replicaOf: *replicaOf,
 			follow:    *follow,
 			wireAddr:  *wireAddr,
+			precision: tier,
 		})
 		return
 	}
@@ -331,7 +360,11 @@ func main() {
 					fmt.Printf("state store: %d-shard in-memory KV\n", sh.NumShards())
 				}
 			}
-			proc := serving.NewParallelStreamProcessorBatch(model, st.store, *workers, *inferBatch)
+			proc, err := serving.NewParallelStreamProcessorTier(model, st.store, *workers, *inferBatch, tier)
+			if err != nil {
+				fmt.Printf("ppserve: %v\n", err) // unreachable: gated on SupportsF32 above
+				return nil
+			}
 			// Advance+Sync preserves the sequential path's read-your-writes
 			// semantics at every prediction point.
 			st.advance = func(ts int64) { proc.Advance(ts); proc.Sync() }
@@ -341,8 +374,8 @@ func main() {
 			st.updatesRun = proc.UpdatesRun
 			st.pendingLeft = proc.Pending
 			if announce {
-				fmt.Printf("serving stack: %d worker lanes, batch %d, infer-batch %d\n",
-					proc.Workers(), maxInt(*batch, 1), maxInt(*inferBatch, 1))
+				fmt.Printf("serving stack: %d worker lanes, batch %d, infer-batch %d, precision %s\n",
+					proc.Workers(), maxInt(*batch, 1), maxInt(*inferBatch, 1), tier)
 			}
 		} else {
 			if st.store == nil {
@@ -353,6 +386,10 @@ func main() {
 			}
 			proc := serving.NewStreamProcessor(model, st.store)
 			proc.SetInferBatch(*inferBatch)
+			if err := proc.SetPrecision(tier); err != nil {
+				fmt.Printf("ppserve: %v\n", err) // unreachable: gated on SupportsF32 above
+				return nil
+			}
 			st.advance = proc.Advance
 			st.onSession = proc.OnSessionStart
 			st.onAccess = proc.OnAccess
@@ -361,9 +398,9 @@ func main() {
 			st.pendingLeft = proc.Pending
 			if announce {
 				if *inferBatch > 1 {
-					fmt.Printf("serving stack: sequential, infer-batch %d\n", *inferBatch)
+					fmt.Printf("serving stack: sequential, infer-batch %d, precision %s\n", *inferBatch, tier)
 				} else {
-					fmt.Println("serving stack: sequential (in-line updates)")
+					fmt.Printf("serving stack: sequential (in-line updates), precision %s\n", tier)
 				}
 			}
 		}
@@ -556,6 +593,7 @@ type serverConfig struct {
 	replicaOf                  string
 	follow                     bool
 	wireAddr                   string
+	precision                  nn.PrecisionTier
 }
 
 // runServer builds the store, starts the HTTP tier, and shuts down
@@ -598,6 +636,7 @@ func runServer(addr string, model *core.Model, thr float64, lifecycle bool, ssOp
 		MaxBatch:  cfg.maxBatch,
 		MaxWait:   wait,
 		LaneDepth: cfg.laneDepth,
+		Precision: cfg.precision,
 	})
 	if fol != nil {
 		fol.Start()
@@ -635,8 +674,8 @@ func runServer(addr string, model *core.Model, thr float64, lifecycle bool, ssOp
 		}()
 		fmt.Printf("wire protocol on %s\n", wl.Addr())
 	}
-	fmt.Printf("serving on %s (lanes=%d max-batch=%d max-wait=%s lane-depth=%d)\n",
-		addr, cfg.lanes, cfg.maxBatch, cfg.maxWait, cfg.laneDepth)
+	fmt.Printf("serving on %s (lanes=%d max-batch=%d max-wait=%s lane-depth=%d precision=%s)\n",
+		addr, cfg.lanes, cfg.maxBatch, cfg.maxWait, cfg.laneDepth, cfg.precision)
 	if err := srv.ListenAndServe(addr); err != nil {
 		fmt.Fprintf(os.Stderr, "ppserve: %v\n", err)
 		os.Exit(1)

@@ -12,7 +12,11 @@
 // Layout:
 //
 //   - internal/core — the paper's model and training procedure (§6-7)
-//   - internal/{tensor,nn,opt} — the neural-network substrate (PyTorch stand-in)
+//   - internal/{tensor,nn,opt} — the neural-network substrate (PyTorch
+//     stand-in); a two-tier precision architecture: f64 reference kernels
+//     (bit-exact, single-accumulator chains) plus an f32 fast tier
+//     (4-lane accumulation contract, SSE micro-kernel on amd64, fused
+//     GRU gate epilogues) selected through nn.PrecisionTier
 //   - internal/{baselines,gbdt,features} — the traditional models and the
 //     feature engineering they need (§5)
 //   - internal/{dataset,synth} — the access-log data model and synthetic
@@ -20,7 +24,8 @@
 //   - internal/serving — KV store, stream processor, cost model, online
 //     experiment (§9)
 //   - internal/statestore — durable, memory-bounded hidden-state store
-//     (WAL + snapshots, idle eviction, byte budget, int8 tier)
+//     (WAL + snapshots, idle eviction, byte budget, int8 and tagged-f32
+//     storage tiers)
 //   - internal/server — request-driven online serving tier: HTTP/JSON
 //     API + dynamic micro-batcher over the batched GEMM path (§9)
 //   - internal/cluster — user-sharded serving cluster: consistent-hash

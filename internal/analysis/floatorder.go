@@ -8,13 +8,16 @@ import (
 
 // FloatOrder flags floating-point accumulation whose order depends on
 // Go map iteration: ranging over a map and folding float values with
-// += / -= / sum = sum + v (directly, or one call deep into a function
-// that accumulates floats into shared state). Map iteration order is
-// deliberately randomized by the runtime, and float addition is not
-// associative, so such a fold produces a different bit pattern on every
-// run — the canonical way this repo silently loses byte-identical
-// digest parity between replay tiers. The fix is to sort the keys (or
-// accumulate into per-key slots) before folding.
+// += / -= / *= / /= or sum = sum + v (directly, or one call deep into a
+// function that accumulates floats into shared state). Map iteration
+// order is deliberately randomized by the runtime, and float addition
+// and multiplication are not associative (each op rounds), so such a
+// fold produces a different bit pattern on every run — the canonical
+// way this repo silently loses byte-identical digest parity between
+// replay tiers. float32 folds round twice as coarsely as float64, so
+// the f32 compute tier's accumulation paths are held to the same rule.
+// The fix is to sort the keys (or accumulate into per-key slots) before
+// folding.
 var FloatOrder = &Analyzer{
 	Name: "floatorder",
 	Doc:  "flag float accumulation ordered by map iteration (breaks bit-exact digest parity)",
@@ -91,10 +94,13 @@ func rangeVarObj(pass *Pass, e ast.Expr) types.Object {
 }
 
 // floatAccumTarget reports whether the assignment folds a float into
-// its left-hand side: x += v, x -= v, or x = x + v / x = x - v.
+// its left-hand side: x += v, x -= v, x *= v, x /= v, or the spelled-out
+// x = x <op> v forms. Products are folds too — each multiply rounds, so
+// reordering changes the bits just like addition does (the f32 tier's
+// scale/normalisation paths fold this way).
 func floatAccumTarget(pass *Pass, n *ast.AssignStmt) (ast.Expr, bool) {
 	switch n.Tok {
-	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
 		if len(n.Lhs) == 1 && isFloat(pass, n.Lhs[0]) {
 			return n.Lhs[0], true
 		}
@@ -103,7 +109,12 @@ func floatAccumTarget(pass *Pass, n *ast.AssignStmt) (ast.Expr, bool) {
 			return nil, false
 		}
 		bin, ok := n.Rhs[0].(*ast.BinaryExpr)
-		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+		if !ok {
+			return nil, false
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
 			return nil, false
 		}
 		if sameIdentObj(pass, n.Lhs[0], bin.X) || sameIdentObj(pass, n.Lhs[0], bin.Y) {

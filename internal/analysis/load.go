@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -143,11 +144,21 @@ func hasGoFiles(dir string) bool {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") && buildsHere(dir, name) {
 			return true
 		}
 	}
 	return false
+}
+
+// buildsHere reports whether the file participates in the build for the
+// host configuration, honouring //go:build lines and _GOOS/_GOARCH
+// filename suffixes exactly as `go build` does. Without this, paired
+// files like gemm32_amd64.go / gemm32_noasm.go would both load and
+// redeclare each other's symbols.
+func buildsHere(dir, name string) bool {
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
 }
 
 // Load parses and type-checks the module package with the given import
@@ -173,6 +184,9 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !buildsHere(dir, name) {
 			continue
 		}
 		names = append(names, name)

@@ -64,3 +64,35 @@ func TestLoaderResolvesModuleImports(t *testing.T) {
 		t.Fatalf("memoization broken: %p vs %p (err %v)", pkg, again, err)
 	}
 }
+
+// TestFloatOrderChecksTensorF32 pins the f32 kernel files inside the
+// analyzer's checked set: the repo-clean gate only covers the f32
+// accumulation paths if the loader actually parses them. A build-tag or
+// loader regression that silently drops tensor32/gemm32 would otherwise
+// leave the fast tier unchecked while the gate stays green.
+func TestFloatOrderChecksTensorF32(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("repro/internal/tensor")
+	if err != nil {
+		t.Fatalf("loading internal/tensor: %v", err)
+	}
+	want := map[string]bool{"tensor32.go": false, "gemm32.go": false, "arena32.go": false}
+	for _, f := range pkg.Files {
+		name := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("f32 file %s missing from the floatorder checked set", name)
+		}
+	}
+}

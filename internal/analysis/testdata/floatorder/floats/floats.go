@@ -78,3 +78,39 @@ func SumTolerant(m map[string]float64) float64 {
 	}
 	return sum
 }
+
+// SumMap32 folds float32 in map order: the f32 compute tier's
+// accumulators round twice as coarsely, so the same rule applies.
+func SumMap32(m map[string]float32) float32 {
+	var sum float32
+	for _, v := range m {
+		sum += v // want "ordered by map iteration"
+	}
+	return sum
+}
+
+// ProdMap32 folds a product; each multiply rounds, so order changes the
+// bits exactly like addition.
+func ProdMap32(m map[string]float32) float32 {
+	prod := float32(1)
+	for _, v := range m {
+		prod *= v // want "ordered by map iteration"
+	}
+	return prod
+}
+
+// ScaleDown spells the quotient fold as scale = scale / v.
+func ScaleDown(m map[string]float64) float64 {
+	scale := 1.0
+	for _, v := range m {
+		scale = scale / v // want "ordered by map iteration"
+	}
+	return scale
+}
+
+// Rescale32 writes a distinct f32 slot per key; must pass.
+func Rescale32(m, out map[string]float32) {
+	for k, v := range m {
+		out[k] *= v
+	}
+}

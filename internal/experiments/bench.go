@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/nn"
 	"repro/internal/serving"
 	"repro/internal/synth"
 )
@@ -25,6 +26,7 @@ type ServingBenchResult struct {
 	HiddenDim        int     `json:"hidden_dim"`
 	Workers          int     `json:"workers"`
 	InferBatch       int     `json:"infer_batch"`
+	Precision        string  `json:"precision"`
 	Sessions         int     `json:"sessions"`
 	NsPerSession     float64 `json:"ns_per_session"`
 	SessionsPerSec   float64 `json:"sessions_per_sec"`
@@ -108,14 +110,20 @@ func RunServingBench(quick bool) *ServingBenchSuite {
 		name       string
 		workers    int // 0 = sequential processor
 		inferBatch int
+		precision  nn.PrecisionTier
 	}
 	cfgs := []cfg{
-		{"sequential", 0, 1},
-		{"sequential-batch8", 0, 8},
-		{"sequential-batch32", 0, 32},
-		{"sequential-batch64", 0, 64},
-		{"parallel-4", 4, 1},
-		{"parallel-4-batch32", 4, 32},
+		{"sequential", 0, 1, nn.TierF64},
+		{"sequential-batch8", 0, 8, nn.TierF64},
+		{"sequential-batch32", 0, 32, nn.TierF64},
+		{"sequential-batch64", 0, 64, nn.TierF64},
+		{"parallel-4", 4, 1, nn.TierF64},
+		{"parallel-4-batch32", 4, 32, nn.TierF64},
+		// f32 compute tier over the same shapes: the scalar fused path, the
+		// batched GEMM finaliser the ≥2× gate tracks, and the worker pool.
+		{"sequential-f32", 0, 1, nn.TierF32},
+		{"sequential-batch64-f32", 0, 64, nn.TierF32},
+		{"parallel-4-batch32-f32", 4, 32, nn.TierF32},
 	}
 
 	for _, d := range []int{32, 64, 128} {
@@ -129,7 +137,10 @@ func RunServingBench(quick bool) *ServingBenchSuite {
 			runner := &servingBenchRunner{users: users, window: m.Schema.SessionLength + core.DefaultEpsilon}
 			var closeProc func()
 			if c.workers > 0 {
-				p := serving.NewParallelStreamProcessorBatch(m, serving.NewShardedKVStore(16), c.workers, c.inferBatch)
+				p, err := serving.NewParallelStreamProcessorTier(m, serving.NewShardedKVStore(16), c.workers, c.inferBatch, c.precision)
+				if err != nil {
+					panic(err) // the bench model is a single GRU; every tier applies
+				}
 				runner.onSession = p.OnSessionStart
 				runner.onAccess = p.OnAccess
 				runner.advance = func(ts int64) { p.Advance(ts); p.Sync() }
@@ -137,6 +148,9 @@ func RunServingBench(quick bool) *ServingBenchSuite {
 			} else {
 				p := serving.NewStreamProcessor(m, serving.NewKVStore())
 				p.SetInferBatch(c.inferBatch)
+				if err := p.SetPrecision(c.precision); err != nil {
+					panic(err)
+				}
 				runner.onSession = p.OnSessionStart
 				runner.onAccess = p.OnAccess
 				runner.advance = p.Advance
@@ -159,6 +173,7 @@ func RunServingBench(quick bool) *ServingBenchSuite {
 				HiddenDim:        d,
 				Workers:          c.workers,
 				InferBatch:       c.inferBatch,
+				Precision:        c.precision.String(),
 				Sessions:         users * iters,
 				NsPerSession:     perSession,
 				SessionsPerSec:   1e9 / perSession,

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/nn"
 	"repro/internal/serving"
 	"repro/internal/synth"
 )
@@ -57,12 +58,14 @@ func TestServingBenchSuiteRoundTrip(t *testing.T) {
 // every session (cheap smoke: 2 rounds at a tiny dim through the real
 // processors, no timing).
 func TestServingBenchRunnerRounds(t *testing.T) {
-	suiteSmokeRounds(t, 0, 1) // sequential scalar
-	suiteSmokeRounds(t, 0, 4) // sequential batched
-	suiteSmokeRounds(t, 2, 4) // parallel batched
+	suiteSmokeRounds(t, 0, 1, nn.TierF64) // sequential scalar
+	suiteSmokeRounds(t, 0, 4, nn.TierF64) // sequential batched
+	suiteSmokeRounds(t, 2, 4, nn.TierF64) // parallel batched
+	suiteSmokeRounds(t, 0, 4, nn.TierF32) // sequential batched, f32 tier
+	suiteSmokeRounds(t, 2, 4, nn.TierF32) // parallel batched, f32 tier
 }
 
-func suiteSmokeRounds(t *testing.T, workers, inferBatch int) {
+func suiteSmokeRounds(t *testing.T, workers, inferBatch int, tier nn.PrecisionTier) {
 	t.Helper()
 	mcfg := core.DefaultConfig()
 	mcfg.HiddenDim = 8
@@ -72,7 +75,10 @@ func suiteSmokeRounds(t *testing.T, workers, inferBatch int) {
 	var updates func() int64
 	var closeProc func()
 	if workers > 0 {
-		p := serving.NewParallelStreamProcessorBatch(m, serving.NewShardedKVStore(4), workers, inferBatch)
+		p, err := serving.NewParallelStreamProcessorTier(m, serving.NewShardedKVStore(4), workers, inferBatch, tier)
+		if err != nil {
+			t.Fatal(err)
+		}
 		runner.onSession = p.OnSessionStart
 		runner.onAccess = p.OnAccess
 		runner.advance = func(ts int64) { p.Advance(ts); p.Sync() }
@@ -81,6 +87,9 @@ func suiteSmokeRounds(t *testing.T, workers, inferBatch int) {
 	} else {
 		p := serving.NewStreamProcessor(m, serving.NewKVStore())
 		p.SetInferBatch(inferBatch)
+		if err := p.SetPrecision(tier); err != nil {
+			t.Fatal(err)
+		}
 		runner.onSession = p.OnSessionStart
 		runner.onAccess = p.OnAccess
 		runner.advance = p.Advance

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -363,5 +364,34 @@ func TestQuantizationReport(t *testing.T) {
 	b8 := parseCell(t, r.Rows[1][2])
 	if b8 >= b32 {
 		t.Fatalf("int8 must be smaller: %v vs %v", b8, b32)
+	}
+}
+
+// TestLifecycleF32RecallDelta is the acceptance gate for the f32 compute
+// tier: replayed through the fused float32 kernels, the precompute policy's
+// recall shift vs the exact f64 store must stay inside the tolerance the
+// int8 resident tier already established (the states are bounded-error,
+// ≤2e-3 per dimension, where int8 loses up to 1/254 per dimension — a
+// strictly larger perturbation).
+func TestLifecycleF32RecallDelta(t *testing.T) {
+	r := quickLab.Lifecycle()
+	f32Row := findRow(r.Rows, "f32 tier")
+	int8Row := findRow(r.Rows, "int8 tier")
+	if f32Row == nil || int8Row == nil {
+		t.Fatalf("lifecycle table missing tier rows: %v", r.Rows)
+	}
+	f32Delta := parseCell(t, f32Row[3])
+	int8Delta := parseCell(t, int8Row[3])
+	tol := math.Abs(int8Delta) + 0.02 // int8 tolerance plus quantisation-test slack
+	if tol < 0.071 {
+		tol = 0.071 // the int8 tier's full-scale delta from EXPERIMENTS.md
+	}
+	if math.Abs(f32Delta) > tol {
+		t.Fatalf("f32 tier recall delta %+.3f outside int8-established tolerance %.3f", f32Delta, tol)
+	}
+	// No store-side side effects: the f32 tier neither evicts nor cold
+	// starts more than the exact store does.
+	if cold := parseCell(t, f32Row[4]); cold != parseCell(t, findRow(r.Rows, "exact")[4]) {
+		t.Fatalf("f32 tier cold starts diverge from exact store: %v", f32Row)
 	}
 }

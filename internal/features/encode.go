@@ -78,6 +78,27 @@ func ContextVector(schema *dataset.Schema, ts int64, cat []int, dst tensor.Vecto
 	return dst
 }
 
+// ContextVector32 is ContextVector for the f32 serving tier. The context
+// features are pure one-hots, so the f32 vector is exactly equal to the
+// f64 one (no rounding is involved).
+func ContextVector32(schema *dataset.Schema, ts int64, cat []int, dst tensor.Vector32) tensor.Vector32 {
+	dim := ContextDim(schema)
+	if dst == nil {
+		dst = tensor.NewVector32(dim)
+	} else {
+		dst.Zero()
+	}
+	off := 0
+	for i, c := range schema.Cat {
+		dst[off+cat[i]] = 1
+		off += c.Cardinality
+	}
+	dst[off+HourOfDay(ts)] = 1
+	off += HoursInDay
+	dst[off+DayOfWeek(ts)] = 1
+	return dst
+}
+
 // TimeBucketOneHot writes the one-hot encoding of TimeBucket(seconds) into
 // dst (length NumTimeBuckets) and returns it. Pass nil to allocate.
 func TimeBucketOneHot(seconds int64, dst tensor.Vector) tensor.Vector {

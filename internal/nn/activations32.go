@@ -1,0 +1,79 @@
+package nn
+
+import "math"
+
+// Float32 activations for the serving fast tier. The f64 path goes through
+// math.Exp/math.Tanh; here both gates are computed in pure float32
+// arithmetic — every operation is an exactly-rounded IEEE-754 single op, so
+// the results are bit-identical on every platform and the f32 scalar and
+// batched GRU paths (which share these functions) stay replay-equivalent.
+//
+// The formulations are deliberately branch-free on the hot range: the gate
+// epilogue evaluates these on thousands of random pre-activations per
+// batch, where a 50/50 data-dependent branch (like the f64 Sigmoid's sign
+// split) mispredicts constantly and costs more than the whole polynomial.
+// Only the saturation clamp in exp32 branches, and it is almost never
+// taken. Accuracy is a few 1e-7 absolute against the f64 functions (pinned
+// by TestSigmoid32Accuracy / TestTanh32Accuracy) — the gates only need
+// absolute accuracy, since σ and tanh outputs are O(1); far inside the f32
+// tier's bounded-error budget.
+
+const (
+	log2ef = 1.44269504088896340735992468100189214
+	// Two-part ln2 for the Cephes-style argument reduction: expC1 has only
+	// 9 significant bits, so n·expC1 is exact in float32 for every exponent
+	// n in range, and the reduced argument g = (x − n·expC1) − n·expC2
+	// avoids the large-|x| rounding that a single x·log2e split would pick
+	// up from the ulp of the product.
+	expC1 = 0.693359375
+	expC2 = -2.12194440e-4
+	// expClamp keeps e^x inside the float32 normal range (e^±87 ≈ 6e±37);
+	// beyond it the gates are saturated anyway.
+	expClamp = 87.0
+	// round32 is the classic 1.5·2^23 magic constant: adding and
+	// subtracting it rounds a float32 in [-2^22, 2^22] to the nearest
+	// integer (ties to even) with no branch and no float64 excursion.
+	round32 = 1 << 23 * 1.5
+)
+
+// exp32 computes e^x in float32, with x clamped to ±expClamp: n is the
+// nearest integer to x·log2e, the reduced argument g = x − n·ln2 ∈
+// [−ln2/2, ln2/2] comes from the split constants above, e^g is its
+// degree-6 Taylor polynomial (the degree-7 term is ≈1.2e-7 relative on
+// this interval), and 2^n is applied by exponent-field construction.
+func exp32(x float32) float32 {
+	if x > expClamp {
+		x = expClamp
+	}
+	if x < -expClamp {
+		x = -expClamp
+	}
+	nf := (x*log2ef + round32) - round32
+	n := int32(nf)
+	g := (x - nf*expC1) - nf*expC2
+	p := float32(1.0 / 720)
+	p = p*g + 1.0/120
+	p = p*g + 1.0/24
+	p = p*g + 1.0/6
+	p = p*g + 0.5
+	p = p*g + 1
+	p = p*g + 1
+	return p * math.Float32frombits(uint32(n+127)<<23)
+}
+
+// Sigmoid32 returns σ(x) = 1/(1+e^(−x)) in float32. One formula for both
+// signs: the clamp in exp32 keeps e^(−x) finite, and for saturated-negative
+// inputs the result is a tiny normal rather than the f64 branch's exact
+// relative accuracy — the gates only need absolute accuracy.
+func Sigmoid32(x float32) float32 {
+	return 1 / (1 + exp32(-x))
+}
+
+// Tanh32 returns tanh(x) = (e^(2x)−1)/(e^(2x)+1) in float32. Near zero the
+// subtraction cancels — which costs relative accuracy of a tiny result but
+// at most one ulp of 1 in absolute terms; at the clamp both ratios round
+// to ±1 exactly.
+func Tanh32(x float32) float32 {
+	e := exp32(2 * x)
+	return (e - 1) / (e + 1)
+}

@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSigmoid32Accuracy sweeps the gate input range against the f64
+// definition. The budget: polynomial truncation ≈ 1.2e-7 relative plus a
+// few single-precision roundings — well under 3e-6 absolute on a function
+// bounded by 1.
+func TestSigmoid32Accuracy(t *testing.T) {
+	var maxErr float64
+	for x := float32(-30); x <= 30; x += 0.0013 {
+		got := float64(Sigmoid32(x))
+		want := 1 / (1 + math.Exp(-float64(x)))
+		if err := math.Abs(got - want); err > maxErr {
+			maxErr = err
+		}
+	}
+	if maxErr > 3e-6 {
+		t.Fatalf("Sigmoid32 max abs error %v, want <= 3e-6", maxErr)
+	}
+	if Sigmoid32(0) != 0.5 {
+		t.Fatalf("Sigmoid32(0) = %v", Sigmoid32(0))
+	}
+	// Saturation: exactly 1 above the clamp; a tiny normal (not exactly 0,
+	// the single-formula trade-off) below it.
+	if Sigmoid32(100) != 1 {
+		t.Fatalf("Sigmoid32(100) = %v", Sigmoid32(100))
+	}
+	if s := Sigmoid32(-100); s < 0 || s > 1e-36 {
+		t.Fatalf("Sigmoid32(-100) = %v", s)
+	}
+}
+
+// TestTanh32Accuracy sweeps the polynomial, mid, and saturated ranges
+// against math.Tanh.
+func TestTanh32Accuracy(t *testing.T) {
+	var maxErr float64
+	for x := float32(-12); x <= 12; x += 0.0007 {
+		got := float64(Tanh32(x))
+		want := math.Tanh(float64(x))
+		if err := math.Abs(got - want); err > maxErr {
+			maxErr = err
+		}
+	}
+	if maxErr > 3e-6 {
+		t.Fatalf("Tanh32 max abs error %v, want <= 3e-6", maxErr)
+	}
+	if Tanh32(0) != 0 || Tanh32(100) != 1 || Tanh32(-100) != -1 {
+		t.Fatalf("edges: %v / %v / %v", Tanh32(0), Tanh32(100), Tanh32(-100))
+	}
+}
+
+// TestExp32Accuracy sweeps e^x over the full clamp range, both signs, and
+// pins the exact anchor values. The function is pure float32 arithmetic,
+// so every output bit is the same on every platform — the property the f32
+// replay-equivalence story rests on.
+func TestExp32Accuracy(t *testing.T) {
+	if exp32(0) != 1 {
+		t.Fatalf("exp32(0) = %v", exp32(0))
+	}
+	if exp32(-1000) != exp32(-87) || exp32(1000) != exp32(87) {
+		t.Fatalf("clamp: %v/%v vs %v/%v", exp32(-1000), exp32(1000), exp32(-87), exp32(87))
+	}
+	var maxRel float64
+	for x := float32(-87); x <= 87; x += 0.0011 {
+		got := float64(exp32(x))
+		want := math.Exp(float64(x))
+		if rel := math.Abs(got-want) / want; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 2e-6 {
+		t.Fatalf("exp32 max relative error %v, want <= 2e-6", maxRel)
+	}
+}

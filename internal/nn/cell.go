@@ -1,6 +1,10 @@
 package nn
 
-import "repro/internal/tensor"
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
 
 // Cell abstracts the recurrent units compared in §6.2 of the paper: a basic
 // tanh unit, a gated recurrent unit (GRU) and a long short-term memory
@@ -44,6 +48,79 @@ type InferenceCell interface {
 	StepInfer(dst, state, x, scratch tensor.Vector)
 	// ScratchSize is the required scratch length for StepInfer.
 	ScratchSize() int
+}
+
+// PrecisionTier selects the numeric tier of the serving compute path. The
+// f64 tier is the reference: bit-identical to training-time Step, and the
+// digest the replication/replay machinery compares against. The f32 tier is
+// the fast path — half the memory traffic and packed kernels — with its own
+// internally consistent accumulation contract (see tensor.Matrix32): f32
+// batched and f32 sequential replay agree bit-for-bit with each other,
+// while f32 vs f64 agreement is bounded-error only.
+type PrecisionTier int
+
+const (
+	// TierF64 runs inference through the float64 reference kernels.
+	TierF64 PrecisionTier = iota
+	// TierF32 runs inference through the float32 fused kernels.
+	TierF32
+)
+
+// String returns the flag spelling of the tier.
+func (t PrecisionTier) String() string {
+	switch t {
+	case TierF64:
+		return "f64"
+	case TierF32:
+		return "f32"
+	default:
+		return fmt.Sprintf("PrecisionTier(%d)", int(t))
+	}
+}
+
+// ParsePrecision parses a -precision flag value.
+func ParsePrecision(s string) (PrecisionTier, error) {
+	switch s {
+	case "f64":
+		return TierF64, nil
+	case "f32":
+		return TierF32, nil
+	default:
+		return TierF64, fmt.Errorf("unknown precision %q (want f64 or f32)", s)
+	}
+}
+
+// InferenceCell32 is implemented by cells that can advance the state in
+// float32 — the serving fast tier. Implementations follow the f32
+// accumulation contract of the tensor package, so any two f32 paths over
+// the same inputs (scalar vs batched, replica vs replay) produce
+// bit-identical states; agreement with the f64 Step/StepInfer path is
+// bounded-error, pinned by the cross-tier tests.
+type InferenceCell32 interface {
+	// InputSize32 is the padded per-step input length the f32 paths expect:
+	// InputSize rounded up to a multiple of 4 (the packed-kernel reduction
+	// width), with the tail columns zero.
+	InputSize32() int
+	// StepInfer32 writes the next state into dst (length StateSize) from
+	// state (length StateSize) and the padded input x (length InputSize32),
+	// using scratch (length ScratchSize32). dst must not alias state or x.
+	StepInfer32(dst, state, x, scratch tensor.Vector32)
+	// ScratchSize32 is the required scratch length for StepInfer32.
+	ScratchSize32() int
+}
+
+// BatchInferenceCell32 is the float32 twin of BatchInferenceCell: advance B
+// states in one call, with the gate epilogue fused into the GEMM
+// write-back. Row b of dst must be bit-identical to StepInfer32 on row b.
+type BatchInferenceCell32 interface {
+	// StepInferBatch32 writes the next states into dst (B × StateSize) from
+	// states (B × StateSize) and padded inputs xs (B × InputSize32),
+	// allocating intermediates from arena (reset by the caller between
+	// batches). dst must not alias states or xs.
+	StepInferBatch32(dst, states, xs *tensor.Matrix32, arena *tensor.Arena32)
+	// BatchScratchSize32 returns the arena demand (float32s) of one
+	// StepInferBatch32 call at batch size B.
+	BatchScratchSize32(B int) int
 }
 
 // CellKind names a recurrent cell architecture.

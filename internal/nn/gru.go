@@ -21,6 +21,12 @@ type GRUCell struct {
 	// Wih is (3·hidden)×in, Whh is (3·hidden)×hidden; rows [0,h) are the r
 	// gate, [h,2h) the z gate, [2h,3h) the n gate.
 	Wih, Whh, Bih, Bhh *Param
+
+	// f32 holds the lazily built float32 shadow weights of the fast tier
+	// (gru32.go). Built on first f32 use from the then-current f64 weights;
+	// training updates after that point are not reflected — serving freezes
+	// parameters before the fast tier is exercised.
+	f32 gruF32
 }
 
 // NewGRUCell allocates a GRU cell with uniform(-1/√hidden, 1/√hidden)

@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Float32 fast-tier GRU: the same PyTorch gate equations as gru.go, run
+// entirely in float32 with the gate epilogue fused into the matmul
+// write-back. Two structural differences from the f64 path:
+//
+//   - The scalar step never materialises the recurrent pre-activation
+//     vector gh: each element's three recurrent dots (r, z, n rows of Whh)
+//     are computed right before its gates are applied, so the values go
+//     straight from registers into σ/tanh.
+//   - The batched step computes gh in small row blocks (ghBlockRows) and
+//     runs the gate epilogue on each block while it is still L1-hot,
+//     instead of the f64 path's full-panel GEMM followed by a second full
+//     pass. The input side is routed row by row through giRow: sparse rows
+//     (the serving one-hot case) take the transposed-axpy product, dense
+//     rows the 4-lane matvec — the same per-row decision in scalar and
+//     batched form, so the routes can never diverge a replay.
+//
+// Both paths spell the gate expressions identically and share Sigmoid32/
+// Tanh32 and the 4-lane dot contract, so batched and scalar f32 states are
+// bit-for-bit equal (pinned by TestGRUStepInferBatch32MatchesStepInfer32).
+// Weight matrices are padded with zero columns to a multiple of 4 for the
+// packed kernels; padding is exact (±0 lane terms).
+
+// pad4 rounds n up to the packed-kernel reduction width.
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+// ghBlockRows is the row-block size of the batched recurrent product: 8
+// rows × 3h gate columns of float32 stay L1-resident at the paper's hidden
+// sizes, so the fused epilogue reads them back before they spill.
+const ghBlockRows = 8
+
+// gruF32 holds the float32 shadow of a GRUCell's weights, padded to the
+// kernel contract, built once on first use.
+type gruF32 struct {
+	once        sync.Once
+	inPad, hPad int
+	wih, whh    *tensor.Matrix32 // 3h × inPad, 3h × hPad
+	wihT        *tensor.Matrix32 // inPad × 3h: transposed copy for sparse inputs
+	bih, bhh    tensor.Vector32  // 3h
+}
+
+// giRow computes the input-side pre-activations for one padded input row,
+// routing sparse rows (the serving case: a handful of one-hot features)
+// through the transposed-axpy product and dense rows through the 4-lane
+// matvec. Scalar and batched steps both come through here, so a row's
+// route — and therefore its bits — never depends on which path ran it.
+func (w *gruF32) giRow(gi, x tensor.Vector32) {
+	if !w.wihT.MulVecT(gi, x) {
+		w.wih.MulVecDense(gi, x)
+	}
+}
+
+// weights32 returns the f32 shadow, building it on first call.
+func (c *GRUCell) weights32() *gruF32 {
+	w := &c.f32
+	w.once.Do(func() {
+		h3 := 3 * c.hidden
+		w.inPad, w.hPad = pad4(c.in), pad4(c.hidden)
+		w.wih = tensor.NewMatrix32(h3, w.inPad)
+		w.whh = tensor.NewMatrix32(h3, w.hPad)
+		for r := 0; r < h3; r++ {
+			w.wih.Row(r)[:c.in].CopyFromF64(c.Wih.Value[r*c.in : (r+1)*c.in])
+			w.whh.Row(r)[:c.hidden].CopyFromF64(c.Whh.Value[r*c.hidden : (r+1)*c.hidden])
+		}
+		w.wihT = tensor.NewMatrix32(w.inPad, h3)
+		for j := 0; j < c.in; j++ {
+			for r := 0; r < h3; r++ {
+				w.wihT.Set(j, r, w.wih.At(r, j))
+			}
+		}
+		w.bih = tensor.NewVector32(h3)
+		w.bhh = tensor.NewVector32(h3)
+		w.bih.CopyFromF64(c.Bih.Value)
+		w.bhh.CopyFromF64(c.Bhh.Value)
+	})
+	return w
+}
+
+// InputSize32 returns the padded input length of the f32 paths.
+func (c *GRUCell) InputSize32() int { return pad4(c.in) }
+
+// ScratchSize32 returns the StepInfer32 scratch requirement: the input-side
+// pre-activations plus the padded hidden copy.
+func (c *GRUCell) ScratchSize32() int { return 3*c.hidden + pad4(c.hidden) }
+
+// StepInfer32 advances one state in float32 with the recurrent product
+// fused into the gate loop: gi comes from one routed matvec (giRow), and
+// each element's three Whh row dots feed σ/tanh directly — gh is never
+// written to memory. Biases are added at gate time, in the same expression
+// shape as the batched epilogue.
+func (c *GRUCell) StepInfer32(dst, state, x, scratch tensor.Vector32) {
+	w := c.weights32()
+	h := c.hidden
+	gi := scratch[:3*h]
+	hp := scratch[3*h : 3*h+w.hPad]
+	copy(hp, state)
+	for i := h; i < w.hPad; i++ {
+		hp[i] = 0
+	}
+	w.giRow(gi, x)
+	bih, bhh := w.bih, w.bhh
+	for i := 0; i < h; i++ {
+		ghr := dot4lanesRow(w.whh, i, hp)
+		ghz := dot4lanesRow(w.whh, h+i, hp)
+		ghn := dot4lanesRow(w.whh, 2*h+i, hp)
+		r := Sigmoid32((gi[i] + bih[i]) + (ghr + bhh[i]))
+		z := Sigmoid32((gi[h+i] + bih[h+i]) + (ghz + bhh[h+i]))
+		q := ghn + bhh[2*h+i]
+		n := Tanh32((gi[2*h+i] + bih[2*h+i]) + r*q)
+		dst[i] = (1-z)*n + z*state[i]
+	}
+}
+
+// dot4lanesRow is tensor.Dot4Lanes over row r of m — a tiny wrapper that
+// keeps the row slicing in one place.
+func dot4lanesRow(m *tensor.Matrix32, r int, x tensor.Vector32) float32 {
+	return tensor.Dot4Lanes(m.Row(r), x)
+}
+
+// BatchScratchSize32 returns the arena demand of StepInferBatch32: the gi
+// panel, the padded state panel, and one gh row block.
+func (c *GRUCell) BatchScratchSize32(B int) int {
+	return 3*c.hidden*B + pad4(c.hidden)*B + ghBlockRows*3*c.hidden
+}
+
+// StepInferBatch32 advances B states in float32. The input side is giRow
+// per row (the same routing as the scalar step); the recurrent side runs in
+// ghBlockRows-row blocks
+// with the gate epilogue applied to each block straight after its GEMM,
+// while the pre-activations are still cache-hot. Row b is bit-identical to
+// StepInfer32 on row b.
+func (c *GRUCell) StepInferBatch32(dst, states, xs *tensor.Matrix32, arena *tensor.Arena32) {
+	w := c.weights32()
+	h := c.hidden
+	B := xs.Rows
+	gi := arena.Matrix(B, 3*h)
+	for b := 0; b < B; b++ {
+		w.giRow(gi.Row(b), xs.Row(b))
+	}
+	// Padded copy of the state panel for the packed kernels; the pad
+	// columns must be zero (arena contents are unspecified).
+	hs := arena.Matrix(B, w.hPad)
+	for b := 0; b < B; b++ {
+		hr := hs.Row(b)
+		copy(hr, states.Row(b))
+		for i := h; i < w.hPad; i++ {
+			hr[i] = 0
+		}
+	}
+	ghBlock := arena.Matrix(ghBlockRows, 3*h)
+	bih, bhh := w.bih, w.bhh
+	for b0 := 0; b0 < B; b0 += ghBlockRows {
+		nb := B - b0
+		if nb > ghBlockRows {
+			nb = ghBlockRows
+		}
+		blk := tensor.Matrix32{Rows: nb, Cols: w.hPad, Data: hs.Data[b0*w.hPad : (b0+nb)*w.hPad]}
+		gh := tensor.Matrix32{Rows: nb, Cols: 3 * h, Data: ghBlock.Data[:nb*3*h]}
+		blk.MulMatT(&gh, w.whh)
+		for b := b0; b < b0+nb; b++ {
+			gib, ghb := gi.Row(b), gh.Row(b-b0)
+			st, db := states.Row(b), dst.Row(b)
+			for i := 0; i < h; i++ {
+				r := Sigmoid32((gib[i] + bih[i]) + (ghb[i] + bhh[i]))
+				z := Sigmoid32((gib[h+i] + bih[h+i]) + (ghb[h+i] + bhh[h+i]))
+				q := ghb[2*h+i] + bhh[2*h+i]
+				n := Tanh32((gib[2*h+i] + bih[2*h+i]) + r*q)
+				db[i] = (1-z)*n + z*st[i]
+			}
+		}
+	}
+}

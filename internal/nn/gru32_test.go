@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// fillPadded32 writes a random padded f32 input row: real values in
+// [:in], zeros in the pad tail. sparse=true mimics the serving update
+// input (a handful of one-hot features), which routes the sparse matvec.
+func fillPadded32(rng *tensor.RNG, row tensor.Vector32, in int, sparse bool) {
+	row.Zero()
+	if sparse {
+		row[rng.Intn(in)] = 1
+		row[rng.Intn(in)] = 1
+		row[in-1] = float32(rng.NormFloat64())
+		return
+	}
+	for i := 0; i < in; i++ {
+		row[i] = float32(rng.NormFloat64())
+	}
+}
+
+// TestGRUStepInferBatch32MatchesStepInfer32 pins the fused-tier parity
+// property: every row of the batched f32 step is bit-identical to the
+// scalar f32 step, across padded (odd) and aligned hidden sizes, sparse
+// and dense input routing, and ragged tail blocks.
+func TestGRUStepInferBatch32MatchesStepInfer32(t *testing.T) {
+	for _, tc := range []struct {
+		in, hidden, B int
+		sparse        bool
+	}{
+		{13, 19, 13, false}, // everything padded + ragged 8-row tail
+		{300, 64, 21, true}, // serving shape: one-hot input, sparse route
+		{37, 128, 8, false}, // aligned hidden, single full block
+		{5, 6, 3, false},    // below the GEMM tile, edge kernels only
+	} {
+		rng := tensor.NewRNG(uint64(100 + tc.hidden))
+		c := NewGRUCell(tc.in, tc.hidden, rng)
+		inPad := c.InputSize32()
+		xs := tensor.NewMatrix32(tc.B, inPad)
+		states := tensor.NewMatrix32(tc.B, tc.hidden)
+		for b := 0; b < tc.B; b++ {
+			fillPadded32(rng, xs.Row(b), tc.in, tc.sparse)
+			for i := range states.Row(b) {
+				states.Row(b)[i] = float32(rng.NormFloat64())
+			}
+		}
+		arena := tensor.NewArena32(0)
+		arena.Reset()
+		dst := tensor.NewMatrix32(tc.B, tc.hidden)
+		c.StepInferBatch32(dst, states, xs, arena)
+
+		scratch := tensor.NewVector32(c.ScratchSize32())
+		for i := range scratch {
+			scratch[i] = 1e9 // dirty: StepInfer32 must fully overwrite
+		}
+		row := tensor.NewVector32(tc.hidden)
+		for b := 0; b < tc.B; b++ {
+			c.StepInfer32(row, states.Row(b), xs.Row(b), scratch)
+			for i := range row {
+				if math.Float32bits(row[i]) != math.Float32bits(dst.At(b, i)) {
+					t.Fatalf("in=%d h=%d B=%d row %d dim %d: scalar %v vs batch %v",
+						tc.in, tc.hidden, tc.B, b, i, row[i], dst.At(b, i))
+				}
+			}
+		}
+	}
+}
+
+// TestGRUStepInfer32CloseToF64 chains 30 f32 steps next to the f64
+// reference from identical (rounded) inputs and requires the state drift
+// to stay inside the fast tier's bounded-error budget.
+func TestGRUStepInfer32CloseToF64(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	const in, hidden = 31, 64
+	c := NewGRUCell(in, hidden, rng)
+
+	st64 := tensor.NewVector(hidden)
+	dst64 := tensor.NewVector(hidden)
+	scratch64 := tensor.NewVector(c.ScratchSize())
+	x64 := tensor.NewVector(in)
+
+	st32 := tensor.NewVector32(hidden)
+	dst32 := tensor.NewVector32(hidden)
+	scratch32 := tensor.NewVector32(c.ScratchSize32())
+	x32 := tensor.NewVector32(c.InputSize32())
+
+	var maxErr float64
+	for step := 0; step < 30; step++ {
+		for i := range x64 {
+			x32[i] = float32(rng.NormFloat64())
+			x64[i] = float64(x32[i]) // both tiers see the same rounded input
+		}
+		c.StepInfer(dst64, st64, x64, scratch64)
+		c.StepInfer32(dst32, st32, x32, scratch32)
+		copy(st64, dst64)
+		copy(st32, dst32)
+		for i := range dst64 {
+			if err := math.Abs(float64(dst32[i]) - dst64[i]); err > maxErr {
+				maxErr = err
+			}
+		}
+	}
+	if maxErr > 2e-3 {
+		t.Fatalf("f32/f64 state drift %v after 30 steps, want <= 2e-3", maxErr)
+	}
+	if maxErr == 0 {
+		t.Fatalf("suspicious exact agreement — f32 path probably not exercised")
+	}
+}
+
+// TestGRUStepInfer32SteadyStateAllocs pins the scalar fast path at zero
+// allocations once the shadow weights exist.
+func TestGRUStepInfer32SteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts, so the nzPool buffer reallocates")
+	}
+	rng := tensor.NewRNG(8)
+	c := NewGRUCell(300, 64, rng)
+	x := tensor.NewVector32(c.InputSize32())
+	fillPadded32(rng, x, 300, true)
+	st := tensor.NewVector32(c.StateSize())
+	dst := tensor.NewVector32(c.StateSize())
+	scratch := tensor.NewVector32(c.ScratchSize32())
+	c.StepInfer32(dst, st, x, scratch) // builds the shadow, warms the pool
+	if allocs := testing.AllocsPerRun(20, func() { c.StepInfer32(dst, st, x, scratch) }); allocs != 0 {
+		t.Fatalf("StepInfer32: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestGRUStepInferBatch32SteadyStateAllocs pins the batched fast path at
+// zero allocations once the arena has grown to demand.
+func TestGRUStepInferBatch32SteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts, so the nzPool buffer reallocates")
+	}
+	rng := tensor.NewRNG(9)
+	const B = 32
+	c := NewGRUCell(300, 64, rng)
+	xs := tensor.NewMatrix32(B, c.InputSize32())
+	states := tensor.NewMatrix32(B, c.StateSize())
+	dst := tensor.NewMatrix32(B, c.StateSize())
+	for b := 0; b < B; b++ {
+		fillPadded32(rng, xs.Row(b), 300, true)
+	}
+	arena := tensor.NewArena32(c.BatchScratchSize32(B))
+	arena.Reset()
+	c.StepInferBatch32(dst, states, xs, arena)
+	arena.Reset()
+	if allocs := testing.AllocsPerRun(10, func() {
+		arena.Reset()
+		c.StepInferBatch32(dst, states, xs, arena)
+	}); allocs != 0 {
+		t.Fatalf("StepInferBatch32: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestInferenceCell32Implementations documents which cells carry the fast
+// tier: the GRU (the paper's selected cell) does; the rest fall back to
+// f64 via the tier-selection seam.
+func TestInferenceCell32Implementations(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	gru := NewGRUCell(4, 4, rng)
+	if _, ok := Cell(gru).(InferenceCell32); !ok {
+		t.Fatalf("GRU must implement InferenceCell32")
+	}
+	if _, ok := Cell(gru).(BatchInferenceCell32); !ok {
+		t.Fatalf("GRU must implement BatchInferenceCell32")
+	}
+	if _, ok := Cell(NewLSTMCell(4, 4, rng)).(InferenceCell32); ok {
+		t.Fatalf("LSTM unexpectedly implements InferenceCell32 — update the tier fallback docs")
+	}
+}
+
+// BenchmarkGRUStepInferBatch measures the fused f32 batched step against
+// the f64 baseline at the serving shape.
+func BenchmarkGRUStepInferBatch(b *testing.B) {
+	rng := tensor.NewRNG(10)
+	for _, h := range []int{64, 128} {
+		const B, in = 64, 300
+		c := NewGRUCell(in, h, rng)
+		xs32 := tensor.NewMatrix32(B, c.InputSize32())
+		states32 := tensor.NewMatrix32(B, h)
+		dst32 := tensor.NewMatrix32(B, h)
+		for bb := 0; bb < B; bb++ {
+			fillPadded32(rng, xs32.Row(bb), in, true)
+		}
+		arena32 := tensor.NewArena32(c.BatchScratchSize32(B))
+		b.Run("f32-d"+strconv.Itoa(h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				arena32.Reset()
+				c.StepInferBatch32(dst32, states32, xs32, arena32)
+			}
+		})
+		xs := tensor.NewMatrix(B, in)
+		states := tensor.NewMatrix(B, h)
+		dst := tensor.NewMatrix(B, h)
+		for bb := 0; bb < B; bb++ {
+			xs.Row(bb)[rng.Intn(in)] = 1
+		}
+		arena := tensor.NewArena(c.BatchScratchSize(B))
+		b.Run("f64-d"+strconv.Itoa(h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				arena.Reset()
+				c.StepInferBatch(dst, states, xs, arena)
+			}
+		})
+	}
+}

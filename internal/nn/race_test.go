@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// Under the race detector sync.Pool deliberately drops a fraction of
+// Put items to shake out lifecycle races, so pooled buffers reallocate
+// and steady-state allocation pins are meaningless.
+const raceEnabled = true

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/nn"
 	"repro/internal/replication"
 	"repro/internal/serving"
 	"repro/internal/statestore"
@@ -86,6 +87,7 @@ type Statz struct {
 	Inflight        int                        `json:"inflight"`
 	Batches         int64                      `json:"batches"`
 	MeanBatch       float64                    `json:"mean_batch"`
+	Precision       string                     `json:"precision"`
 	Store           serving.Stats              `json:"store"`
 	Lifecycle       *statestore.LifecycleStats `json:"lifecycle,omitempty"`
 }
@@ -99,6 +101,12 @@ type Options struct {
 	State *statestore.Store
 	// Threshold is the precompute decision boundary.
 	Threshold float64
+	// Precision selects the finalisation compute tier (nn.TierF64, the
+	// bit-exact reference, or nn.TierF32, the fused float32 kernels).
+	// TierF32 requires a cell with an f32 inference tier — New panics
+	// otherwise; flag-level validation lives in ppserve. Predictions always
+	// run f64 (the MLP-dominated path widens exactly from the stored wire).
+	Precision nn.PrecisionTier
 	// Follower, when non-nil, is the replication client applying a
 	// primary's records into State. The server exposes its admin half
 	// (/replicate/follow, /replicate/promote) and stops it on Shutdown;
@@ -213,6 +221,11 @@ func New(opts Options) *Server {
 	}
 	if opts.PredictWorkers <= 0 {
 		opts.PredictWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Precision == nn.TierF32 && !opts.Model.SupportsF32() {
+		// Programmer error: flag-level input is validated in ppserve, so an
+		// unsupported tier reaching here means the caller skipped the gate.
+		panic("server: f32 precision requires a cell with an f32 inference tier (gate on Model.SupportsF32)")
 	}
 	s := &Server{
 		opts:        opts,
@@ -452,7 +465,10 @@ func (s *Server) overloaded() bool {
 // batch through the wave-partitioned GEMM cell.
 func (s *Server) runFlusher(lane chan serving.DueSession) {
 	defer s.flushers.Done()
-	fin := serving.NewBatchFinalizer(s.opts.Model, s.opts.Store, s.opts.MaxBatch)
+	fin, err := serving.NewBatchFinalizerTier(s.opts.Model, s.opts.Store, s.opts.MaxBatch, s.opts.Precision)
+	if err != nil {
+		panic(err) // unreachable: New validated the tier against the model
+	}
 	batch := make([]serving.DueSession, 0, s.opts.MaxBatch)
 	for d := range lane {
 		batch = append(batch[:0], d)
@@ -759,6 +775,7 @@ func (s *Server) Stats() Statz {
 		PendingSessions: pending,
 		Inflight:        inflight,
 		Batches:         s.batches.Load(),
+		Precision:       s.opts.Precision.String(),
 		Store:           s.opts.Store.Stats(),
 	}
 	if st.Batches > 0 {

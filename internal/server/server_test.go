@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/nn"
 	"repro/internal/serving"
 	"repro/internal/statestore"
 	"repro/internal/synth"
@@ -406,4 +407,83 @@ func TestEventValidation(t *testing.T) {
 	if err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestHTTPReplayF32TierParity runs the micro-batched HTTP path with the
+// f32 finaliser tier and compares against the f32 sequential in-process
+// replay: the f32 accumulation contract makes every hidden state
+// byte-identical across the two paths, exactly like the f64 parity gate.
+// /statz must surface the active tier.
+func TestHTTPReplayF32TierParity(t *testing.T) {
+	m := testModel(t, 24)
+	log := ReplayLog(30, 3)
+
+	seq := serving.NewKVStore()
+	p := serving.NewStreamProcessor(m, seq)
+	if err := p.SetPrecision(nn.TierF32); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range log {
+		p.OnSessionStart(e.SID, e.User, e.Ts, e.Cat)
+		if e.Access {
+			p.OnAccess(e.SID, e.Ts+30)
+		}
+	}
+	p.Flush()
+
+	store := serving.NewShardedKVStore(8)
+	srv := New(Options{
+		Model: m, Store: store, Threshold: 0.5,
+		Lanes: 3, MaxBatch: 8, MaxWait: time.Millisecond, LaneDepth: 64,
+		Precision: nn.TierF32,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := RunLoad(LoadOptions{
+		BaseURL:       ts.URL,
+		Concurrency:   4,
+		EventsPerPost: 5,
+		Flush:         true,
+	}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed != 0 || rep.Errors != 0 {
+		t.Fatalf("parity run must be clean: %+v", rep)
+	}
+	n := assertStatesEqual(t, seq, store)
+	t.Logf("f32 HTTP replay parity: %d hidden states byte-identical", n)
+
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stz Statz
+	if err := json.NewDecoder(resp.Body).Decode(&stz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stz.Precision != "f32" {
+		t.Fatalf("/statz precision = %q, want f32", stz.Precision)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerRejectsUnsupportedF32 pins the constructor gate: a cell
+// without an f32 inference tier must refuse the f32 option loudly at
+// startup, not corrupt states at the first finalisation.
+func TestServerRejectsUnsupportedF32(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.HiddenDim = 8
+	cfg.Cell = nn.CellLSTM
+	m := core.New(synth.MobileTabSchema(), cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted f32 precision for an LSTM model")
+		}
+	}()
+	New(Options{Model: m, Store: serving.NewKVStore(), Threshold: 0.5, Precision: nn.TierF32})
 }

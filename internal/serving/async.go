@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/nn"
 )
 
 // The async submit/notify seam: a request-driven server cannot live inside
@@ -72,30 +73,51 @@ func (p *StreamProcessor) drainToSink(ts int64) {
 type BatchFinalizer struct {
 	model    *core.Model
 	store    Store
-	sc       *batchScratch
+	sc       *batchScratch   // f64 tier
+	sc32     *batchScratch32 // f32 tier (nil unless constructed with TierF32)
 	maxBatch int
 	bufs     []sessionBuffer
 	ptrs     []*sessionBuffer
 }
 
 // NewBatchFinalizer sizes the finalizer's scratch for groups of up to
-// maxBatch sessions (larger inputs are chunked).
+// maxBatch sessions (larger inputs are chunked). Finalisation runs on the
+// f64 reference tier; use NewBatchFinalizerTier for the f32 fast tier.
 func NewBatchFinalizer(model *core.Model, store Store, maxBatch int) *BatchFinalizer {
+	f, err := NewBatchFinalizerTier(model, store, maxBatch, nn.TierF64)
+	if err != nil {
+		panic(err) // unreachable: the f64 tier needs no cell support
+	}
+	return f
+}
+
+// NewBatchFinalizerTier is NewBatchFinalizer with an explicit compute tier,
+// fixed for the finalizer's lifetime. TierF32 requires a cell with an f32
+// inference tier (see StreamProcessor.SetPrecision); only the selected
+// tier's scratch is allocated.
+func NewBatchFinalizerTier(model *core.Model, store Store, maxBatch int, tier nn.PrecisionTier) (*BatchFinalizer, error) {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
 	f := &BatchFinalizer{
 		model:    model,
 		store:    store,
-		sc:       newBatchScratch(model, maxBatch),
 		maxBatch: maxBatch,
 		bufs:     make([]sessionBuffer, maxBatch),
 		ptrs:     make([]*sessionBuffer, maxBatch),
 	}
+	if tier == nn.TierF32 {
+		if !model.SupportsF32() {
+			return nil, fmt.Errorf("serving: %s cell has no f32 inference tier", model.Cfg.Cell)
+		}
+		f.sc32 = newBatchScratch32(model, maxBatch)
+	} else {
+		f.sc = newBatchScratch(model, maxBatch)
+	}
 	for i := range f.bufs {
 		f.ptrs[i] = &f.bufs[i]
 	}
-	return f
+	return f, nil
 }
 
 // Finalize runs the GRU update for every session in due, in order. The
@@ -115,7 +137,11 @@ func (f *BatchFinalizer) Finalize(due []DueSession) {
 				accessed: due[i].Accessed,
 			}
 		}
-		applySessionUpdateBatch(f.model, f.store, f.ptrs[:n], f.sc)
+		if f.sc32 != nil {
+			applySessionUpdateBatch32(f.model, f.store, f.ptrs[:n], f.sc32)
+		} else {
+			applySessionUpdateBatch(f.model, f.store, f.ptrs[:n], f.sc)
+		}
 		due = due[n:]
 	}
 }

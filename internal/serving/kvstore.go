@@ -171,6 +171,44 @@ func DecodeHiddenInto(buf []byte, h tensor.Vector) (lastTS int64, ok bool) {
 // d (512 bytes of vector at d=128, plus the 8-byte timestamp).
 func HiddenValueBytes(d int) int { return 8 + 4*d }
 
+// ---- f32-tier hidden-state codec ----
+//
+// The wire format above is already float32 per dimension, so the f32
+// serving tier shares it byte for byte: EncodeHiddenInto32 is a straight
+// bit copy (no rounding — the state is float32 end to end), and a state
+// written by either tier decodes into the other. f64-written states widen
+// exactly into the f32 tier's decode; the only cross-tier difference is
+// which arithmetic produced the bits, which the bounded-error equivalence
+// tests cover.
+
+// EncodeHiddenInto32 is EncodeHiddenInto for the f32 tier: identical wire
+// bytes, no per-dimension rounding step.
+func EncodeHiddenInto32(dst []byte, h tensor.Vector32, lastTS int64) []byte {
+	need := 8 + 4*len(h)
+	if cap(dst) < need {
+		dst = make([]byte, need)
+	}
+	buf := dst[:need]
+	binary.LittleEndian.PutUint64(buf, uint64(lastTS))
+	for i, v := range h {
+		binary.LittleEndian.PutUint32(buf[8+4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// DecodeHiddenInto32 is DecodeHiddenInto for the f32 tier: the same length
+// checks (doubling as the state-size check), a straight bit copy out.
+func DecodeHiddenInto32(buf []byte, h tensor.Vector32) (lastTS int64, ok bool) {
+	if len(buf) < 8 || (len(buf)-8)%4 != 0 || (len(buf)-8)/4 != len(h) {
+		return 0, false
+	}
+	lastTS = int64(binary.LittleEndian.Uint64(buf))
+	for i := range h {
+		h[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[8+4*i:]))
+	}
+	return lastTS, true
+}
+
 // ---- Quantized hidden-state codec (§9) ----
 //
 // The paper notes that neural-network quantization can store single bytes

@@ -2,11 +2,13 @@ package serving
 
 import (
 	"container/heap"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/nn"
 )
 
 // ParallelStreamProcessor is the multi-core variant of StreamProcessor: the
@@ -42,6 +44,9 @@ type ParallelStreamProcessor struct {
 	// inferBatch > 1 lets each worker greedily drain up to that many queued
 	// sessions from its lane and finalise them through the batched cell.
 	inferBatch int
+	// precision is fixed at construction (workers read it with no lock;
+	// see NewParallelStreamProcessorTier).
+	precision nn.PrecisionTier
 
 	// inflight tracks dispatched-but-unfinished finalisations for Sync.
 	inflightMu   sync.Mutex
@@ -65,6 +70,22 @@ func NewParallelStreamProcessor(model *core.Model, store Store, workers int) *Pa
 // FIFO order plus the batch's wave partition preserve per-user update
 // order, so stored states stay byte-identical to the sequential processor.
 func NewParallelStreamProcessorBatch(model *core.Model, store Store, workers, inferBatch int) *ParallelStreamProcessor {
+	p, err := NewParallelStreamProcessorTier(model, store, workers, inferBatch, nn.TierF64)
+	if err != nil {
+		panic(err) // unreachable: the f64 tier needs no cell support
+	}
+	return p
+}
+
+// NewParallelStreamProcessorTier is NewParallelStreamProcessorBatch with an
+// explicit finalisation compute tier. The tier is fixed for the processor's
+// lifetime — each worker picks its scratch type once at startup, so there
+// is no per-session tier check and nothing for workers to race on. TierF32
+// requires a cell with an f32 inference tier (see StreamProcessor.SetPrecision).
+func NewParallelStreamProcessorTier(model *core.Model, store Store, workers, inferBatch int, tier nn.PrecisionTier) (*ParallelStreamProcessor, error) {
+	if tier == nn.TierF32 && !model.SupportsF32() {
+		return nil, fmt.Errorf("serving: %s cell has no f32 inference tier", model.Cfg.Cell)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -75,6 +96,7 @@ func NewParallelStreamProcessorBatch(model *core.Model, store Store, workers, in
 		buffers:    make(map[string]*sessionBuffer),
 		lanes:      make([]chan *sessionBuffer, workers),
 		inferBatch: inferBatch,
+		precision:  tier,
 	}
 	p.inflightCond = sync.NewCond(&p.inflightMu)
 	for i := range p.lanes {
@@ -83,13 +105,21 @@ func NewParallelStreamProcessorBatch(model *core.Model, store Store, workers, in
 		p.workers.Add(1)
 		go p.runWorker(lane)
 	}
-	return p
+	return p, nil
 }
 
 func (p *ParallelStreamProcessor) runWorker(lane <-chan *sessionBuffer) {
 	defer p.workers.Done()
 	if p.inferBatch > 1 {
 		p.runWorkerBatched(lane)
+		return
+	}
+	if p.precision == nn.TierF32 {
+		scratch := newUpdateScratch32(p.model)
+		for buf := range lane {
+			applySessionUpdate32(p.model, p.store, buf, scratch)
+			p.finishInflight(1)
+		}
 		return
 	}
 	scratch := newUpdateScratch(p.model)
@@ -104,7 +134,20 @@ func (p *ParallelStreamProcessor) runWorker(lane <-chan *sessionBuffer) {
 // finalisation. Under light load this degenerates to per-session updates
 // (batch of 1); under a backlog the whole group rides two GEMMs per wave.
 func (p *ParallelStreamProcessor) runWorkerBatched(lane <-chan *sessionBuffer) {
-	bs := newBatchScratch(p.model, p.inferBatch)
+	// One tier-specific scratch per worker, chosen once; the drain loop is
+	// shared via the apply closure so the two tiers cannot drift.
+	var apply func(bufs []*sessionBuffer)
+	if p.precision == nn.TierF32 {
+		bs := newBatchScratch32(p.model, p.inferBatch)
+		apply = func(bufs []*sessionBuffer) {
+			applySessionUpdateBatch32(p.model, p.store, bufs, bs)
+		}
+	} else {
+		bs := newBatchScratch(p.model, p.inferBatch)
+		apply = func(bufs []*sessionBuffer) {
+			applySessionUpdateBatch(p.model, p.store, bufs, bs)
+		}
+	}
 	bufs := make([]*sessionBuffer, 0, p.inferBatch)
 	for buf := range lane {
 		bufs = append(bufs[:0], buf)
@@ -120,7 +163,7 @@ func (p *ParallelStreamProcessor) runWorkerBatched(lane <-chan *sessionBuffer) {
 				break drain
 			}
 		}
-		applySessionUpdateBatch(p.model, p.store, bufs, bs)
+		apply(bufs)
 		p.finishInflight(len(bufs))
 	}
 }
@@ -271,3 +314,6 @@ func (p *ParallelStreamProcessor) UpdatesRun() int64 { return p.updatesRun.Load(
 
 // Workers returns the worker-pool size.
 func (p *ParallelStreamProcessor) Workers() int { return len(p.lanes) }
+
+// Precision returns the finalisation compute tier fixed at construction.
+func (p *ParallelStreamProcessor) Precision() nn.PrecisionTier { return p.precision }

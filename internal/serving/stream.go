@@ -2,9 +2,11 @@ package serving
 
 import (
 	"container/heap"
+	"fmt"
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -57,10 +59,18 @@ type StreamProcessor struct {
 	now     int64
 	scratch *updateScratch
 
+	// precision selects the compute tier of finalisation: TierF64 (the
+	// bit-exact training reference, default) or TierF32 (the fused float32
+	// kernels; see SetPrecision). The stored wire format is the same either
+	// way, so the tier can be switched mid-replay without a store rewrite.
+	precision nn.PrecisionTier
+	scratch32 *updateScratch32
+
 	// inferBatch > 1 drains due sessions in groups of up to that size and
 	// finalises them through the batched GEMM cell path (see batch.go).
 	inferBatch int
 	batchSc    *batchScratch
+	batchSc32  *batchScratch32
 	due        []*sessionBuffer
 
 	// sink, when set, receives due sessions instead of inline finalisation
@@ -95,7 +105,36 @@ func (p *StreamProcessor) SetInferBatch(n int) {
 	}
 	p.inferBatch = n
 	p.batchSc = newBatchScratch(p.model, n)
+	if p.precision == nn.TierF32 {
+		p.batchSc32 = newBatchScratch32(p.model, n)
+	}
 }
+
+// SetPrecision selects the finalisation compute tier. TierF32 routes
+// session updates through the fused float32 kernels — roughly 2-4× the f64
+// throughput at the paper's hidden sizes — and requires a cell with an f32
+// tier (the GRU; stacked/LSTM/tanh cells return an error). All f32 paths
+// store bit-identical states; agreement with the f64 tier is bounded-error
+// (see DESIGN.md "Precision tiers"). Not safe to call concurrently with
+// event ingestion.
+func (p *StreamProcessor) SetPrecision(t nn.PrecisionTier) error {
+	if t == nn.TierF32 && !p.model.SupportsF32() {
+		return fmt.Errorf("serving: %s cell has no f32 inference tier", p.model.Cfg.Cell)
+	}
+	p.precision = t
+	if t == nn.TierF32 {
+		if p.scratch32 == nil {
+			p.scratch32 = newUpdateScratch32(p.model)
+		}
+		if p.inferBatch > 1 && p.batchSc32 == nil {
+			p.batchSc32 = newBatchScratch32(p.model, p.inferBatch)
+		}
+	}
+	return nil
+}
+
+// Precision returns the finalisation compute tier.
+func (p *StreamProcessor) Precision() nn.PrecisionTier { return p.precision }
 
 // hiddenKey is the per-user KV key.
 func hiddenKey(userID int) string { return "h:" + strconv.Itoa(userID) }
@@ -184,7 +223,11 @@ func (p *StreamProcessor) drainBatched(ts int64) {
 			}
 		}
 		if len(p.due) > 0 {
-			applySessionUpdateBatch(p.model, p.store, p.due, p.batchSc)
+			if p.precision == nn.TierF32 {
+				applySessionUpdateBatch32(p.model, p.store, p.due, p.batchSc32)
+			} else {
+				applySessionUpdateBatch(p.model, p.store, p.due, p.batchSc)
+			}
 			p.UpdatesRun += int64(len(p.due))
 		}
 	}
@@ -222,7 +265,11 @@ func (p *StreamProcessor) finalize(sessionID string) {
 		return
 	}
 	delete(p.buffers, sessionID)
-	applySessionUpdate(p.model, p.store, buf, p.scratch)
+	if p.precision == nn.TierF32 {
+		applySessionUpdate32(p.model, p.store, buf, p.scratch32)
+	} else {
+		applySessionUpdate(p.model, p.store, buf, p.scratch)
+	}
 	p.UpdatesRun++
 }
 

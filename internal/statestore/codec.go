@@ -22,13 +22,38 @@ const (
 	// loses at most 1/254 per dimension). This is the paper's own
 	// suggestion for shrinking the per-user state 4×.
 	CodecInt8
+	// CodecF32 is the f32 compute tier's codec: values that parse as
+	// hidden-state records are tagged tagF32 and stored payload-verbatim,
+	// so the resident representation is exactly the float32 panel the f32
+	// serving tier computes in — Get is tag-strip + copy, no per-dimension
+	// transcode in either direction. Bytes that do not parse as hidden
+	// records fall back to tagRaw, like every codec.
+	CodecF32
 )
 
 func (c Codec) String() string {
-	if c == CodecInt8 {
+	switch c {
+	case CodecInt8:
 		return "int8"
+	case CodecF32:
+		return "f32"
+	default:
+		return "float32"
 	}
-	return "float32"
+}
+
+// ParseCodec maps the String() names (as accepted by the -quant and
+// -precision serving flags) back to a Codec.
+func ParseCodec(s string) (Codec, bool) {
+	switch s {
+	case "float32", "":
+		return CodecFloat32, true
+	case "int8":
+		return CodecInt8, true
+	case "f32":
+		return CodecF32, true
+	}
+	return CodecFloat32, false
 }
 
 // Stored values are self-describing: a one-byte tag precedes the payload,
@@ -37,6 +62,7 @@ func (c Codec) String() string {
 const (
 	tagRaw  byte = 0 // payload is the wire format verbatim
 	tagInt8 byte = 1 // payload is [8B ts][1B/dim int8]
+	tagF32  byte = 2 // payload is a well-formed hidden record, [8B ts][4B/dim f32]
 )
 
 // encodeStored transcodes a wire-format value into the tagged resident
@@ -60,12 +86,20 @@ func encodeStored(dst []byte, c Codec, wire []byte) []byte {
 		}
 		return dst
 	}
+	tag := tagRaw
+	if c == CodecF32 && len(wire) >= 8 && (len(wire)-8)%4 == 0 {
+		// Same bytes as tagRaw, but the tag asserts "well-formed f32 hidden
+		// record": replicas, transfers, and debugging tools can trust the
+		// payload's shape without re-parsing, and the statestore's resident
+		// width provably matches the f32 compute tier's.
+		tag = tagF32
+	}
 	need := 1 + len(wire)
 	if cap(dst) < need {
 		dst = make([]byte, 0, need)
 	}
 	dst = dst[:need]
-	dst[0] = tagRaw
+	dst[0] = tag
 	copy(dst[1:], wire)
 	return dst
 }

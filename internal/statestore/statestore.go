@@ -31,8 +31,8 @@ type Options struct {
 	// Dir enables durability: WAL + snapshots live here. "" keeps the
 	// store memory-only.
 	Dir string
-	// Codec selects the resident representation (CodecFloat32 or
-	// CodecInt8).
+	// Codec selects the resident representation (CodecFloat32, CodecInt8,
+	// or CodecF32 — the f32 compute tier's transcode-free codec).
 	Codec Codec
 	// EvictAfter is the idle horizon in virtual seconds: a state whose
 	// record timestamp lags the newest observed timestamp by more than

@@ -1,0 +1,103 @@
+package tensor
+
+// Float32 NT GEMM for the serving fast tier: dst = a · bᵀ with a row-major
+// (B × K) input panel and a row-major (N × K) weight matrix — the same
+// serving workhorse shape as the f64 MulMatT, at half the memory width.
+//
+// Unlike the f64 kernels (strict single-accumulator ascending-k chains, the
+// bit-exact parity reference), the f32 tier uses the 4-lane accumulation
+// contract documented in tensor32.go: term k lands in lane k%4, lanes
+// combine as (l0+l2)+(l1+l3). That contract is what lets the amd64
+// micro-kernel (gemm32_amd64.s) run the reduction on the packed SSE units —
+// baseline amd64 instructions, no feature detection, so every amd64 machine
+// produces identical bits — while the pure-Go paths here reproduce the same
+// results bit-for-bit: the edge rows below, the !amd64 fallback, the
+// sparse/dense matvec paths, and the fused scalar GRU step all share it.
+//
+// The micro-kernel holds an 8×4 accumulator tile in registers: 4 input
+// rows × 2 weight rows × 4 packed k-lanes = 32 independent multiply-add
+// chains in 8 XMM registers, against the f64 kernel's 16 scalar chains.
+// There is no k-blocking: K is the hidden/input dimension (at most a few
+// hundred here), so a 4-row input block and a 2-row weight block stay
+// L1-resident across the whole reduction, and lane sums never need to
+// spill mid-chain. The kernel requires K % 4 == 0; the nn layer pads its
+// f32 weight copies and panels to that boundary (zero columns are exact:
+// they contribute ±0 to a lane, with the sign-of-zero caveat the f64 tier
+// already documents).
+
+// MulMatT computes dst = m · otherᵀ (m: M×K, other: N×K, dst: M×N). dst is
+// fully overwritten (no pre-zeroing pass is needed); it must not alias m or
+// other. K must be a multiple of 4 — pad with zero columns on both
+// operands, which leaves every lane sum unchanged.
+func (m *Matrix32) MulMatT(dst, other *Matrix32) {
+	checkLen("Matrix32.MulMatT inner", m.Cols, other.Cols)
+	checkLen("Matrix32.MulMatT rows", dst.Rows, m.Rows)
+	checkLen("Matrix32.MulMatT cols", dst.Cols, other.Rows)
+	if m.Cols&3 != 0 {
+		lenPanic("Matrix32.MulMatT inner %4", (m.Cols+3)&^3, m.Cols)
+	}
+	gemmNT32(dst, m, other)
+}
+
+// gemmNT32 tiles the panel: full 4-row blocks go through the packed
+// micro-kernel (gemmNT32Tile, assembly on amd64), ragged rows and a ragged
+// trailing weight row through the pure-Go edge — bit-identical by the lane
+// contract.
+func gemmNT32(dst, a, b *Matrix32) {
+	M, N := a.Rows, b.Rows
+	i := 0
+	for ; i+4 <= M; i += 4 {
+		if n2 := N &^ 1; n2 > 0 {
+			gemmNT32Tile(dst, a, b, i, n2)
+		}
+		if N&1 != 0 {
+			gemmNT32Edge(dst, a, b, i, 4, N-1, 1)
+		}
+	}
+	if i < M {
+		gemmNT32Edge(dst, a, b, i, M-i, 0, N)
+	}
+}
+
+// Dot4Lanes is the scalar spelling of the packed reduction: four
+// independent ascending-k lane chains combined as (l0+l2)+(l1+l3). a and b
+// must have equal length. Exported because the fused f32 GRU step computes
+// its recurrent dots element-by-element with this exact contract, which is
+// what keeps it bit-identical to the batched GEMM path.
+func Dot4Lanes(a, b Vector32) float32 {
+	var l0, l1, l2, l3 float32
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		l0 += a[k] * b[k]
+		l1 += a[k+1] * b[k+1]
+		l2 += a[k+2] * b[k+2]
+		l3 += a[k+3] * b[k+3]
+	}
+	for ; k < len(a); k++ {
+		switch k & 3 {
+		case 0:
+			l0 += a[k] * b[k]
+		case 1:
+			l1 += a[k] * b[k]
+		case 2:
+			l2 += a[k] * b[k]
+		default:
+			l3 += a[k] * b[k]
+		}
+	}
+	return (l0 + l2) + (l1 + l3)
+}
+
+// gemmNT32Edge computes dst[i0:i0+ni, j0:j0+nj] = a · bᵀ over those rows
+// and weight rows, one 4-lane dot per element.
+func gemmNT32Edge(dst, a, b *Matrix32, i0, ni, j0, nj int) {
+	K := a.Cols
+	for i := i0; i < i0+ni; i++ {
+		arow := Vector32(a.Data[i*a.Cols : i*a.Cols+K])
+		drow := dst.Data[i*dst.Cols+j0 : i*dst.Cols+j0+nj]
+		for j := range drow {
+			brow := Vector32(b.Data[(j0+j)*b.Cols : (j0+j)*b.Cols+K])
+			drow[j] = Dot4Lanes(arow, brow)
+		}
+	}
+}
